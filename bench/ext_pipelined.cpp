@@ -1,0 +1,90 @@
+// Extension experiment: communication HIDING vs communication AVOIDING.
+//
+// The paper's footnote 5 reports trying pipelined GMRES (Ghysels et al.,
+// ref [19]) and seeing no significant improvement on their node. This bench
+// puts depth-1 pipelined GMRES head to head with CGS-GMRES and
+// CA-GMRES(s=10) while scaling the PCIe latency — the regime where each
+// strategy pays off becomes visible:
+//  - at low latency all three are close (the paper's observation);
+//  - as latency grows, pipelining hides one reduction round per iteration,
+//    but CA-GMRES, which eliminates whole communication phases, wins more.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "core/cagmres.hpp"
+#include "core/gmres.hpp"
+#include "core/pipelined.hpp"
+#include "sim/machine.hpp"
+
+using namespace cagmres;
+
+int main(int argc, char** argv) {
+  Options opts(
+      "ext_pipelined — pipelined (latency-hiding) GMRES vs CGS-GMRES vs "
+      "CA-GMRES under scaled PCIe latency");
+  bench::add_matrix_options(opts, "cant");
+  opts.add("ng", "3", "simulated GPUs");
+  opts.add("s", "10", "CA-GMRES block size");
+  opts.add("tol", "1e-4", "relative residual tolerance");
+  opts.add("max_restarts", "6", "restart cap for the timing runs");
+  opts.add("latency_scale", "1,4,16", "PCIe latency multipliers to sweep");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const sparse::CsrMatrix a = bench::load_matrix(opts);
+  const std::string name = opts.get("matrix");
+  const int m = bench::default_m(name);
+  const int ng = opts.get_int("ng");
+  bench::print_header("Extension — pipelined vs CA: " + name, a);
+
+  const std::vector<double> b = bench::make_rhs(
+      a.n_rows, static_cast<std::uint64_t>(opts.get_int("seed")));
+  const core::Problem p = core::make_problem(
+      a, b, ng, graph::parse_ordering(bench::default_ordering(name)), true, 7);
+
+  Table table({"latency x", "solver", "rest", "Orth/Res", "SpMV|MPK/Res",
+               "Total/Res", "vs GMRES"});
+  for (const int lat : opts.get_int_list("latency_scale")) {
+    sim::PerfModel pm;
+    pm.pcie_latency_s *= lat;
+
+    core::SolverOptions so;
+    so.m = m;
+    so.tol = opts.get_double("tol");
+    so.max_restarts = opts.get_int("max_restarts");
+
+    double gmres_per = 0.0;
+    auto row = [&](const char* label, const core::SolveStats& st) {
+      const double per = st.restarts ? st.time_total / st.restarts : 0.0;
+      if (std::string(label) == "GMRES (cgs)") gmres_per = per;
+      table.add_row(
+          {std::to_string(lat) + "x", label, std::to_string(st.restarts),
+           bench::ms(st.restarts ? st.time_ortho_total() / st.restarts : 0),
+           bench::ms(st.restarts
+                         ? (st.time_spmv + st.time_mpk) / st.restarts
+                         : 0),
+           bench::ms(per),
+           per > 0 && gmres_per > 0 ? Table::fmt(gmres_per / per, 2) : "-"});
+    };
+
+    {
+      sim::Machine mach(ng, pm);
+      row("GMRES (cgs)", core::gmres(mach, p, so).stats);
+    }
+    {
+      sim::Machine mach(ng, pm);
+      row("pipelined", core::pipelined_gmres(mach, p, so).stats);
+    }
+    {
+      core::SolverOptions ca = so;
+      ca.s = opts.get_int("s");
+      ca.reorthogonalize = true;
+      sim::Machine mach(ng, pm);
+      row("CA-GMRES", core::ca_gmres(mach, p, ca).stats);
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

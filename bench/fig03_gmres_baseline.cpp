@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 3: standard GMRES throughput on the 16-core CPU
+// (threaded-MKL model) vs 1-3 simulated GPUs, per test matrix.
+//
+// Reported as time per iteration and speedup over the CPU. Expected shape:
+// one GPU beats the 16-core CPU (device memory bandwidth >> host), and the
+// GPU curve scales to 3 devices with diminishing returns as the PCIe
+// reductions start to matter.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "core/cpu_gmres.hpp"
+#include "core/gmres.hpp"
+#include "sim/machine.hpp"
+
+using namespace cagmres;
+
+namespace {
+
+void run_matrix(const std::string& name, double scale, double tol,
+                std::uint64_t seed, int max_restarts) {
+  const sparse::CsrMatrix a = sparse::make_paper_matrix(name, scale);
+  const int m = bench::default_m(name);
+  const std::string oname = bench::default_ordering(name);
+  bench::print_header(
+      "Fig 3 — GMRES(" + std::to_string(m) + ") baseline: " + name, a);
+
+  Table table({"platform", "rest", "iters", "time/iter (ms)", "Orth/iter",
+               "SpMV/iter", "speedup vs CPU"});
+  const std::vector<double> b = bench::make_rhs(a.n_rows, seed);
+
+  core::SolverOptions opts;
+  opts.m = m;
+  opts.tol = tol;
+  opts.max_restarts = max_restarts;
+
+  double cpu_per_iter = 0.0;
+  {
+    const core::Problem p = core::make_problem(
+        a, b, 1, graph::parse_ordering(oname), true, 7);
+    sim::Machine machine(1);
+    const core::SolveResult res = core::cpu_gmres(machine, p, opts);
+    const auto& st = res.stats;
+    cpu_per_iter = st.iterations > 0 ? st.time_total / st.iterations : 0.0;
+    table.add_row({"16-core CPU (MKL model)", std::to_string(st.restarts),
+                   std::to_string(st.iterations), bench::ms(cpu_per_iter),
+                   bench::ms(st.iterations ? st.time_orth / st.iterations : 0),
+                   bench::ms(st.iterations ? st.time_spmv / st.iterations : 0),
+                   "1.00"});
+  }
+  for (int ng = 1; ng <= 3; ++ng) {
+    const core::Problem p = core::make_problem(
+        a, b, ng, graph::parse_ordering(oname), true, 7);
+    sim::Machine machine(ng);
+    const core::SolveResult res = core::gmres(machine, p, opts);
+    const auto& st = res.stats;
+    const double per_iter =
+        st.iterations > 0 ? st.time_total / st.iterations : 0.0;
+    table.add_row({std::to_string(ng) + " GPU(s)", std::to_string(st.restarts),
+                   std::to_string(st.iterations), bench::ms(per_iter),
+                   bench::ms(st.iterations ? st.time_orth / st.iterations : 0),
+                   bench::ms(st.iterations ? st.time_spmv / st.iterations : 0),
+                   per_iter > 0 ? Table::fmt(cpu_per_iter / per_iter, 2)
+                                : "-"});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(
+      "fig03_gmres_baseline — paper Fig. 3: GMRES on 16-core CPU vs 1-3 "
+      "simulated GPUs");
+  opts.add("scale", "1.0", "matrix scale factor");
+  opts.add("tol", "1e-4", "relative residual tolerance");
+  opts.add("seed", "1234", "rhs seed");
+  opts.add("max_restarts", "8",
+           "restart cap for the timing runs (per-restart averages stabilize "
+           "after a few; raise to 1000 to reproduce full convergence counts)");
+  opts.add("matrices", "cant,g3_circuit,dielfilter",
+           "comma-separated matrix list");
+  if (!opts.parse(argc, argv)) return 0;
+
+  std::string list = opts.get("matrices");
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name = list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!name.empty()) {
+      run_matrix(name, opts.get_double("scale"), opts.get_double("tol"),
+                 static_cast<std::uint64_t>(opts.get_int("seed")),
+                 opts.get_int("max_restarts"));
+    }
+    pos = (comma == std::string::npos) ? std::string::npos : comma + 1;
+  }
+  return 0;
+}

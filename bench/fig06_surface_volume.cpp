@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 6: surface-to-volume ratio of the matrix powers
+// kernel vs. s, for the cant-like and G3_circuit-like matrices under the
+// natural, RCM, and k-way (KWY) row distributions.
+//
+// Expected shape (paper): the scrambled circuit matrix has a catastrophic
+// ratio under the natural ordering that reordering fixes (but it still
+// grows superlinearly in s); the banded cant matrix grows roughly linearly
+// under every scheme, with KWY no better than the natural band.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "core/solver_common.hpp"
+#include "mpk/plan.hpp"
+
+using namespace cagmres;
+
+namespace {
+
+void run_matrix(const std::string& name, double scale, int ng,
+                const std::vector<int>& svals) {
+  const sparse::CsrMatrix a = sparse::make_paper_matrix(name, scale);
+  bench::print_header("Fig 6 — surface-to-volume ratio: " + name, a);
+
+  Table table([&] {
+    std::vector<std::string> h = {"ordering", "metric"};
+    for (const int s : svals) h.push_back("s=" + std::to_string(s));
+    return h;
+  }());
+
+  for (const auto& oname : {"natural", "rcm", "kway"}) {
+    const graph::Ordering scheme = graph::parse_ordering(oname);
+    const graph::Partition part = graph::make_partition(a, ng, scheme, 1);
+    const sparse::CsrMatrix ap = sparse::permute_symmetric(a, part.perm);
+
+    std::vector<std::string> ratio_row = {oname, "nnz(bnd)/nnz(local)"};
+    std::vector<std::string> flops_row = {oname, "extra Mflop / call"};
+    for (const int s : svals) {
+      const mpk::MpkPlan plan = mpk::build_mpk_plan(ap, part.offsets, s);
+      double ratio = 0.0;
+      double extra = 0.0;
+      for (int d = 0; d < ng; ++d) {
+        ratio += plan.stats.surface_to_volume(d);
+        extra += plan.stats.extra_flops[static_cast<std::size_t>(d)];
+      }
+      ratio_row.push_back(Table::fmt(ratio / ng, 3));
+      flops_row.push_back(Table::fmt(extra / ng / 1e6, 2));
+    }
+    table.add_row(ratio_row);
+    table.add_row(flops_row);
+    table.add_separator();
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(
+      "fig06_surface_volume — paper Fig. 6: MPK surface-to-volume ratio vs "
+      "s per distribution scheme");
+  opts.add("scale", "1.0", "matrix scale factor");
+  opts.add("ng", "3", "number of simulated GPUs");
+  opts.add("s", "1,2,3,4,5,6,7,8", "s values to sweep");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const std::vector<int> svals = opts.get_int_list("s");
+  run_matrix("cant", opts.get_double("scale"), opts.get_int("ng"), svals);
+  run_matrix("g3_circuit", opts.get_double("scale"), opts.get_int("ng"),
+             svals);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 7: total communication volume of the matrix powers
+// kernel over m = 100 generated vectors, as a function of s, normalized by
+// the volume of 100 standard SpMV halo exchanges.
+//
+// Volume per MPK call = gather |union_d delta^(d,1:s)| + scatter
+// sum_d |delta^(d,1:s)|; calls per 100 vectors = 100/s. Expected shape:
+// the per-call boundary grows sublinearly for banded matrices, so the total
+// stays flat-to-slightly-increasing; for the circuit matrix under its
+// natural ordering it explodes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "graph/partition.hpp"
+#include "mpk/plan.hpp"
+
+using namespace cagmres;
+
+namespace {
+
+void run_matrix(const std::string& name, double scale, int ng, int m,
+                const std::vector<int>& svals) {
+  const sparse::CsrMatrix a = sparse::make_paper_matrix(name, scale);
+  bench::print_header("Fig 7 — MPK communication volume: " + name, a);
+
+  Table table([&] {
+    std::vector<std::string> h = {"ordering"};
+    for (const int s : svals) h.push_back("s=" + std::to_string(s));
+    return h;
+  }());
+
+  for (const auto& oname : {"natural", "rcm", "kway"}) {
+    const graph::Ordering scheme = graph::parse_ordering(oname);
+    const graph::Partition part = graph::make_partition(a, ng, scheme, 1);
+    const sparse::CsrMatrix ap = sparse::permute_symmetric(a, part.perm);
+
+    // Baseline: SpMV (s = 1) volume over m iterations.
+    const mpk::MpkPlan base = mpk::build_mpk_plan(ap, part.offsets, 1);
+    const double spmv_vol =
+        static_cast<double>(base.stats.total_volume()) * m;
+
+    std::vector<std::string> row = {oname};
+    for (const int s : svals) {
+      const mpk::MpkPlan plan = mpk::build_mpk_plan(ap, part.offsets, s);
+      const double calls = static_cast<double>(m) / s;
+      const double vol =
+          static_cast<double>(plan.stats.total_volume()) * calls;
+      row.push_back(Table::fmt(vol / spmv_vol, 2));
+    }
+    table.add_row(row);
+  }
+  std::printf("volume normalized to %d standard SpMV exchanges (1.00)\n%s\n",
+              m, table.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(
+      "fig07_comm_volume — paper Fig. 7: MPK total communication volume vs "
+      "s, normalized to SpMV");
+  opts.add("scale", "1.0", "matrix scale factor");
+  opts.add("ng", "3", "number of simulated GPUs");
+  opts.add("m", "100", "basis vectors per measurement (paper: 100)");
+  opts.add("s", "1,2,3,4,5,6,7,8", "s values to sweep");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const std::vector<int> svals = opts.get_int_list("s");
+  run_matrix("cant", opts.get_double("scale"), opts.get_int("ng"),
+             opts.get_int("m"), svals);
+  run_matrix("g3_circuit", opts.get_double("scale"), opts.get_int("ng"),
+             opts.get_int("m"), svals);
+  return 0;
+}

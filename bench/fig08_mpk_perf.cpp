@@ -1,0 +1,89 @@
+// Reproduces paper Fig. 8: simulated time of the matrix powers kernel to
+// generate m = 100 basis vectors, as a function of s, on 3 GPUs — total
+// time (solid line in the paper) and the SpMV-compute-only time (dashed).
+//
+// Expected shape: compute time grows mildly with s (boundary-row overhead),
+// while communication time (total - compute) collapses going from s = 1 to
+// small s because the PCIe latency is paid once per s vectors; for large s
+// the growing volume pushes the total back up. Net win in the 10-20% range
+// for the banded matrix, as in the paper.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "graph/partition.hpp"
+#include "mpk/exec.hpp"
+#include "mpk/plan.hpp"
+#include "sim/machine.hpp"
+
+using namespace cagmres;
+
+namespace {
+
+/// Runs ceil(m/s) MPK calls generating ~m vectors; returns elapsed seconds.
+double run_mpk(const sparse::CsrMatrix& ap, const std::vector<int>& offsets,
+               int s, int m, const sim::PerfModel& pm, int ng) {
+  const mpk::MpkPlan plan = mpk::build_mpk_plan(ap, offsets, s);
+  mpk::MpkExecutor exec(plan);
+  sim::Machine machine(ng, pm);
+  sim::DistMultiVec v(plan.rows_per_device(), s + 1);
+  for (int d = 0; d < ng; ++d) {
+    for (int i = 0; i < v.local_rows(d); ++i) v.col(d, 0)[i] = 1.0;
+  }
+  int generated = 0;
+  while (generated < m) {
+    exec.apply(machine, v, 0, s);
+    generated += s;
+  }
+  machine.sync_all();
+  return machine.clock().elapsed();
+}
+
+void run_matrix(const std::string& name, const std::string& oname,
+                double scale, int ng, int m, const std::vector<int>& svals) {
+  const sparse::CsrMatrix a = sparse::make_paper_matrix(name, scale);
+  bench::print_header(
+      "Fig 8 — MPK performance: " + name + " (" + oname + " ordering)", a);
+
+  const graph::Partition part =
+      graph::make_partition(a, ng, graph::parse_ordering(oname), 1);
+  const sparse::CsrMatrix ap = sparse::permute_symmetric(a, part.perm);
+
+  Table table({"s", "total (ms)", "compute (ms)", "comm (ms)",
+               "speedup vs s=1"});
+  sim::PerfModel pm;             // full model
+  sim::PerfModel pm_free = pm;   // communication-free variant (dashed line)
+  pm_free.pcie_latency_s = 0.0;
+  pm_free.pcie_bw = 1e18;
+
+  double t1 = 0.0;
+  for (const int s : svals) {
+    const double total = run_mpk(ap, part.offsets, s, m, pm, ng);
+    const double compute = run_mpk(ap, part.offsets, s, m, pm_free, ng);
+    if (s == svals.front()) t1 = total;
+    table.add_row({std::to_string(s), bench::ms(total), bench::ms(compute),
+                   bench::ms(total - compute), Table::fmt(t1 / total, 2)});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(
+      "fig08_mpk_perf — paper Fig. 8: MPK time to generate 100 vectors vs "
+      "s (simulated, 3 GPUs)");
+  opts.add("scale", "1.0", "matrix scale factor");
+  opts.add("ng", "3", "number of simulated GPUs");
+  opts.add("m", "100", "vectors to generate (paper: 100)");
+  opts.add("s", "1,2,3,4,5,6,8", "s values to sweep");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const std::vector<int> svals = opts.get_int_list("s");
+  run_matrix("cant", "rcm", opts.get_double("scale"), opts.get_int("ng"),
+             opts.get_int("m"), svals);
+  run_matrix("g3_circuit", "kway", opts.get_double("scale"),
+             opts.get_int("ng"), opts.get_int("m"), svals);
+  return 0;
+}

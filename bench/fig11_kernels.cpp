@@ -1,0 +1,140 @@
+// Reproduces paper Fig. 11: effective GFlop/s of the tall-skinny kernels.
+//  (a) DGEMM (the CholQR/SVQR Gram kernel): CUBLAS-4.2-class vs the
+//      paper's batched implementation vs the 16-core MKL host;
+//  (b) DGEMV (the CGS projection kernel): CUBLAS-class vs the optimized
+//      MAGMA-class kernel vs DDOT;
+//  (c) TSQR: all five procedures on 1-3 GPUs plus the threaded-LAPACK host
+//      baseline, effective rate = 4 n s^2 / time (DGEQRF+DORGQR flops).
+//
+// Expected shape: batched DGEMM ~4x CUBLAS on tall-skinny shapes and above
+// MKL; optimized DGEMV ~5x CUBLAS; CholQR/SVQR inherit the DGEMM rate and
+// dominate Fig. 11(c), CAQR/MGS sit at BLAS-1/2 rates, and everything
+// scales across 3 GPUs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "ortho/tsqr.hpp"
+#include "sim/device_blas.hpp"
+#include "sim/machine.hpp"
+
+using namespace cagmres;
+
+namespace {
+
+void plot_gemm(int cols, const std::vector<int>& sizes) {
+  std::printf("== Fig 11(a) — tall-skinny DGEMM (n x %d Gram), GFlop/s ==\n\n",
+              cols);
+  Table table({"rows n", "cublas-class", "batched (opt)", "MKL 16-core"});
+  sim::PerfModel std_pm;
+  std_pm.profile = sim::KernelProfile::kStandard;
+  sim::PerfModel opt_pm;
+  opt_pm.profile = sim::KernelProfile::kOptimized;
+  for (const int n : sizes) {
+    const double flops = static_cast<double>(n) * cols * (cols + 1);
+    const double bytes = 8.0 * (static_cast<double>(n) * cols +
+                                static_cast<double>(cols) * cols);
+    const double t_std = std_pm.device_seconds(sim::Kernel::kGemm, flops, bytes);
+    const double t_opt = opt_pm.device_seconds(sim::Kernel::kGemm, flops, bytes);
+    const double t_cpu = std_pm.host_seconds(sim::Kernel::kGemm, flops, bytes);
+    table.add_row({std::to_string(n), Table::fmt(flops / t_std / 1e9, 1),
+                   Table::fmt(flops / t_opt / 1e9, 1),
+                   Table::fmt(flops / t_cpu / 1e9, 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+void plot_gemv(int cols, const std::vector<int>& sizes) {
+  std::printf("== Fig 11(b) — tall-skinny DGEMV (n x %d), GFlop/s ==\n\n",
+              cols);
+  Table table({"rows n", "cublas-class", "magma-opt", "ddot"});
+  sim::PerfModel std_pm;
+  std_pm.profile = sim::KernelProfile::kStandard;
+  sim::PerfModel opt_pm;
+  opt_pm.profile = sim::KernelProfile::kOptimized;
+  for (const int n : sizes) {
+    const double flops = 2.0 * n * cols;
+    const double bytes = 8.0 * (static_cast<double>(n) * cols + n + cols);
+    const double t_std = std_pm.device_seconds(sim::Kernel::kGemv, flops, bytes);
+    const double t_opt = opt_pm.device_seconds(sim::Kernel::kGemv, flops, bytes);
+    // DDOT comparison: `cols` separate dot products.
+    const double t_dot =
+        cols * std_pm.device_seconds(sim::Kernel::kDot, 2.0 * n, 16.0 * n);
+    table.add_row({std::to_string(n), Table::fmt(flops / t_std / 1e9, 1),
+                   Table::fmt(flops / t_opt / 1e9, 1),
+                   Table::fmt(flops / t_dot / 1e9, 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+void plot_tsqr(int cols, int n) {
+  std::printf(
+      "== Fig 11(c) — TSQR effective GFlop/s (n=%d, s+1=%d columns) ==\n"
+      "   effective rate = 4 n (s+1)^2 / time, the DGEQRF+DORGQR flop "
+      "count\n\n",
+      n, cols);
+  Table table({"method", "1 GPU", "2 GPUs", "3 GPUs"});
+  const double eff_flops = 4.0 * static_cast<double>(n) * cols * cols;
+
+  for (const auto method :
+       {ortho::Method::kMgs, ortho::Method::kCgs, ortho::Method::kCholQr,
+        ortho::Method::kSvqr, ortho::Method::kCaqr}) {
+    std::vector<std::string> row = {ortho::to_string(method)};
+    for (int ng = 1; ng <= 3; ++ng) {
+      sim::Machine machine(ng);
+      std::vector<int> rows(static_cast<std::size_t>(ng));
+      for (int d = 0; d < ng; ++d) {
+        rows[static_cast<std::size_t>(d)] =
+            static_cast<int>((static_cast<long long>(n) * (d + 1)) / ng -
+                             (static_cast<long long>(n) * d) / ng);
+      }
+      sim::DistMultiVec v(rows, cols);
+      Rng rng(4);
+      for (int d = 0; d < ng; ++d) {
+        for (int j = 0; j < cols; ++j) {
+          for (int i = 0; i < v.local_rows(d); ++i) {
+            v.col(d, j)[i] = rng.normal();
+          }
+        }
+      }
+      ortho::tsqr(machine, method, v, 0, cols);
+      machine.sync_all();
+      row.push_back(
+          Table::fmt(eff_flops / machine.clock().elapsed() / 1e9, 1));
+    }
+    table.add_row(row);
+  }
+  // Threaded LAPACK host baseline (MKL DGEQRF + DORGQR model).
+  {
+    sim::PerfModel pm;
+    const double t = pm.host_seconds(sim::Kernel::kGeqrf, eff_flops,
+                                     8.0 * 2.0 * n * cols);
+    table.add_row({"lapack (host)", Table::fmt(eff_flops / t / 1e9, 1), "-",
+                   "-"});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(
+      "fig11_kernels — paper Fig. 11: tall-skinny DGEMM/DGEMV/TSQR "
+      "effective rates under the calibrated device model");
+  opts.add("plot", "all", "which panel: gemm|gemv|tsqr|all");
+  opts.add("cols", "30", "panel width s+1 (paper: 30)");
+  opts.add("n", "300000", "panel rows for the TSQR panel");
+  opts.add("sizes", "1000,10000,100000,1000000,3000000",
+           "row counts for the rate curves");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const std::string plot = opts.get("plot");
+  const int cols = opts.get_int("cols");
+  const std::vector<int> sizes = opts.get_int_list("sizes");
+  if (plot == "gemm" || plot == "all") plot_gemm(cols, sizes);
+  if (plot == "gemv" || plot == "all") plot_gemv(cols, sizes);
+  if (plot == "tsqr" || plot == "all") plot_tsqr(cols, opts.get_int("n"));
+  return 0;
+}

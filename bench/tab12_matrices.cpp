@@ -1,0 +1,117 @@
+// Reproduces paper Fig. 12 (the test-matrix table): per analog, size,
+// nnz/row, the dominant Ritz ratio theta_1/theta_2 (driver of the monomial
+// basis's instability), and kappa(B) — the condition number of the last
+// TSQR block's Gram matrix from the first CA restart with the Fig. 14
+// setups.
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "blas/eig.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "core/cagmres.hpp"
+#include "core/gmres.hpp"
+#include "mpk/exec.hpp"
+#include "mpk/plan.hpp"
+#include "sim/machine.hpp"
+
+using namespace cagmres;
+
+int main(int argc, char** argv) {
+  Options opts(
+      "tab12_matrices — paper Fig. 12: analog matrix properties incl. "
+      "theta1/theta2 and kappa(B)");
+  opts.add("scale", "1.0", "scale for cant/g3/diel");
+  opts.add("kkt_scale", "0.5", "scale for nlpkkt");
+  opts.add("seed", "1234", "rhs seed");
+  if (!opts.parse(argc, argv)) return 0;
+
+  Table table({"analog", "n/1000", "nnz/row", "theta1/theta2", "kappa(B)",
+               "paper n/1000", "paper nnz/row"});
+  struct Paper {
+    const char* name;
+    double n, nnzrow;
+  };
+  const Paper papers[] = {{"cant", 62, 64.2},
+                          {"g3_circuit", 1585, 4.8},
+                          {"dielfilter", 1157, 41.9},
+                          {"nlpkkt", 3542, 26.9}};
+
+  for (const Paper& pp : papers) {
+    const double scale = std::string(pp.name) == "nlpkkt"
+                             ? opts.get_double("kkt_scale")
+                             : opts.get_double("scale");
+    const sparse::CsrMatrix a = sparse::make_paper_matrix(pp.name, scale);
+    const sparse::MatrixStats st = sparse::compute_stats(a);
+    const std::vector<double> b = bench::make_rhs(
+        a.n_rows, static_cast<std::uint64_t>(opts.get_int("seed")));
+    const core::Problem p = core::make_problem(
+        a, b, 1,
+        graph::parse_ordering(bench::default_ordering(pp.name)), true, 7);
+
+    // theta1/theta2: two largest Ritz values of one GMRES(m) cycle.
+    core::SolverOptions so;
+    so.m = bench::default_m(pp.name);
+    so.s = 15;
+    so.max_restarts = 2;  // first = shift harvest, second = one CA cycle
+    so.collect_tsqr_errors = true;
+    sim::Machine machine(1);
+    const core::SolveStats stats = core::ca_gmres(machine, p, so).stats;
+
+    double ratio = 0.0;
+    // kappa(B) of the LAST block of the last CA restart (paper's
+    // definition: the Gram matrix squares the block's condition number).
+    double kappa_b = 0.0;
+    int last_restart = -1;
+    for (const auto& e : stats.tsqr_errors) last_restart = e.restart;
+    for (const auto& e : stats.tsqr_errors) {
+      if (e.restart == last_restart && e.pass == 0) {
+        kappa_b = e.kappa_block * e.kappa_block;  // Gram squares kappa(V)
+      }
+    }
+    // theta1/theta2 via Hessenberg eigenvalues of a short Arnoldi run.
+    {
+      const mpk::MpkPlan plan = mpk::build_mpk_plan(p.a, p.offsets, 1);
+      mpk::MpkExecutor spmv(plan);
+      sim::Machine m3(1);
+      sim::DistMultiVec v(plan.rows_per_device(), 31);
+      sim::DistVec bb(plan.rows_per_device());
+      bb.assign_from_host(p.b);
+      sim::DistMultiVec xw(plan.rows_per_device(), 2);
+      const double beta =
+          core::detail::compute_residual(m3, spmv, bb, xw, v, 0, true);
+      for (int d = 0; d < 1; ++d) {
+        for (int i = 0; i < v.local_rows(d); ++i) v.col(d, 0)[i] /= beta;
+      }
+      const auto cyc = core::detail::arnoldi_cycle(
+          m3, spmv, v, 30, ortho::Method::kCgs, beta, 0.0);
+      blas::DMat hs(cyc.k, cyc.k);
+      for (int j = 0; j < cyc.k; ++j) {
+        for (int i = 0; i < cyc.k; ++i) hs(i, j) = cyc.h(i, j);
+      }
+      auto eig = blas::hessenberg_eig(hs);
+      double t1 = 0.0, t2 = 0.0;
+      for (const auto& e : eig) {
+        const double mag = std::abs(e);
+        if (mag > t1) {
+          t2 = t1;
+          t1 = mag;
+        } else if (mag > t2) {
+          t2 = mag;
+        }
+      }
+      ratio = (t2 > 0.0) ? t1 / t2 : 0.0;
+    }
+
+    char kb[24];
+    std::snprintf(kb, sizeof kb, "%.2e", kappa_b);
+    table.add_row({pp.name, Table::fmt(a.n_rows / 1000.0, 1),
+                   Table::fmt(st.avg_row_nnz, 1), Table::fmt(ratio, 4), kb,
+                   Table::fmt(pp.n, 0), Table::fmt(pp.nnzrow, 1)});
+  }
+  std::printf("== Fig 12 table — test matrix analogs ==\n\n%s\n",
+              table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Example: solving a circuit-simulation system and choosing a row
+// distribution (paper §IV's G3_circuit story).
+//
+// Circuit matrices come with arbitrary node numbering, so the "natural"
+// ordering has no locality: the matrix powers kernel's dependency halo
+// explodes. This example quantifies that with the MPK plan statistics and
+// then solves the system under each distribution, showing why the paper
+// partitions G3_circuit with k-way partitioning.
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "core/cagmres.hpp"
+#include "mpk/plan.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cagmres;
+  Options opts("circuit_solver — ordering choices for a circuit-like system");
+  opts.add("scale", "0.5", "matrix scale (0.5 ~ 25k nodes)");
+  opts.add("s", "3", "CA-GMRES block size");
+  opts.add("ng", "3", "simulated GPUs");
+  opts.add("max_restarts", "30", "restart cap");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const sparse::CsrMatrix a =
+      sparse::make_circuit_like(opts.get_double("scale"));
+  const int ng = opts.get_int("ng");
+  const int s = opts.get_int("s");
+  std::printf("circuit matrix: %s\n\n",
+              to_string(sparse::compute_stats(a)).c_str());
+
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+
+  Table table({"ordering", "halo elems (s=1)", "boundary nnz ratio",
+               "MPK comm/call", "restarts", "total (ms)", "converged"});
+  for (const char* oname : {"natural", "rcm", "kway"}) {
+    const core::Problem p = core::make_problem(
+        a, b, ng, graph::parse_ordering(oname), true, 1);
+
+    // Structural costs of the matrix powers kernel under this distribution.
+    const mpk::MpkPlan plan1 = mpk::build_mpk_plan(p.a, p.offsets, 1);
+    const mpk::MpkPlan plans = mpk::build_mpk_plan(p.a, p.offsets, s);
+    double ratio = 0.0;
+    for (int d = 0; d < ng; ++d) ratio += plans.stats.surface_to_volume(d);
+    ratio /= ng;
+
+    sim::Machine machine(ng);
+    core::SolverOptions so;
+    so.m = 30;
+    so.s = s;
+    so.max_restarts = opts.get_int("max_restarts");
+    const core::SolveResult res = core::ca_gmres(machine, p, so);
+
+    table.add_row({oname, Table::fmt_int(plan1.stats.scatter_volume()),
+                   Table::fmt(ratio, 3),
+                   Table::fmt_int(plans.stats.total_volume()),
+                   std::to_string(res.stats.restarts),
+                   Table::fmt(res.stats.time_total * 1e3, 1),
+                   res.stats.converged ? "yes" : "no (cap)"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "note how the scrambled natural ordering needs a halo ~the whole\n"
+      "matrix, while RCM/KWY confine it — the paper's Fig. 6 in miniature.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Example: the paper's headline use case — a banded FEM problem where
+// CA-GMRES beats GMRES by avoiding communication.
+//
+// Solves the cant-like beam with standard GMRES and with CA-GMRES across
+// 1-3 simulated GPUs, printing the per-phase breakdown that shows where
+// the communication-avoiding reformulation wins (fewer reductions in the
+// orthogonalization, one halo exchange per s SpMVs).
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "core/cagmres.hpp"
+#include "core/gmres.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cagmres;
+  Options opts("fem_cantilever — GMRES vs CA-GMRES on a banded FEM beam");
+  opts.add("scale", "1.0", "beam scale (1.0 ~ 62k unknowns)");
+  opts.add("s", "15", "CA-GMRES block size");
+  opts.add("m", "60", "restart length");
+  opts.add("max_restarts", "8", "restart cap");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const sparse::CsrMatrix a = sparse::make_cant_like(opts.get_double("scale"));
+  std::printf("cantilever matrix: %s\n\n",
+              to_string(sparse::compute_stats(a)).c_str());
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+
+  Table table({"solver", "ng", "msgs/iter", "Orth (ms/res)", "SpMV|MPK (ms/res)",
+               "Total (ms/res)", "speedup"});
+  std::vector<double> gmres_per(4, 0.0);
+  for (int ng = 1; ng <= 3; ++ng) {
+    const core::Problem p =
+        core::make_problem(a, b, ng, graph::Ordering::kNatural, true, 1);
+    core::SolverOptions so;
+    so.m = opts.get_int("m");
+    so.max_restarts = opts.get_int("max_restarts");
+
+    sim::Machine mg(ng);
+    const auto rg = core::gmres(mg, p, so).stats;
+    const double gper = rg.restarts ? rg.time_total / rg.restarts : 0.0;
+    gmres_per[static_cast<std::size_t>(ng)] = gper;
+    table.add_row(
+        {"GMRES", std::to_string(ng),
+         Table::fmt(static_cast<double>(mg.counters().total_msgs()) /
+                        std::max(rg.iterations, 1), 1),
+         Table::fmt(rg.restarts ? rg.time_ortho_total() / rg.restarts * 1e3 : 0, 1),
+         Table::fmt(rg.restarts ? rg.time_spmv / rg.restarts * 1e3 : 0, 1),
+         Table::fmt(gper * 1e3, 1), "1.00"});
+
+    so.s = opts.get_int("s");
+    sim::Machine mc(ng);
+    const auto rc = core::ca_gmres(mc, p, so).stats;
+    const double cper = rc.restarts ? rc.time_total / rc.restarts : 0.0;
+    table.add_row(
+        {"CA-GMRES", std::to_string(ng),
+         Table::fmt(static_cast<double>(mc.counters().total_msgs()) /
+                        std::max(rc.iterations, 1), 1),
+         Table::fmt(rc.restarts ? rc.time_ortho_total() / rc.restarts * 1e3 : 0, 1),
+         Table::fmt(rc.restarts ? (rc.time_spmv + rc.time_mpk) / rc.restarts * 1e3 : 0, 1),
+         Table::fmt(cper * 1e3, 1),
+         cper > 0 ? Table::fmt(gper / cper, 2) : "-"});
+    table.add_separator();
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "CA-GMRES sends an order of magnitude fewer messages per basis\n"
+      "vector; on multiple simulated GPUs that turns into the speedup.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Level-1 dense kernels on raw column storage.
+//
+// These are the host reference kernels the simulated device executes. They
+// are deliberately simple loops: with -O3 GCC vectorizes all of them, and
+// the simulated clock — not wall time — is what the experiments report.
+#pragma once
+
+#include <cstddef>
+
+namespace cagmres::blas {
+
+/// Dot product x·y over n entries.
+double dot(int n, const double* x, const double* y);
+
+/// Euclidean norm with scaling to avoid overflow/underflow.
+double nrm2(int n, const double* x);
+
+/// y := alpha*x + y.
+void axpy(int n, double alpha, const double* x, double* y);
+
+/// x := alpha*x.
+void scal(int n, double alpha, double* x);
+
+/// y := x.
+void copy(int n, const double* x, double* y);
+
+/// Infinity norm max_i |x_i|.
+double amax(int n, const double* x);
+
+}  // namespace cagmres::blas

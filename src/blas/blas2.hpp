@@ -1,0 +1,21 @@
+// Level-2 dense kernels (matrix-vector products) on column-major storage.
+#pragma once
+
+namespace cagmres::blas {
+
+/// y := alpha * A * x + beta * y for column-major A (m x n, leading dim lda).
+void gemv_n(int m, int n, double alpha, const double* a, int lda,
+            const double* x, double beta, double* y);
+
+/// y := alpha * A^T * x + beta * y for column-major A (m x n, leading dim lda).
+/// This is the tall-skinny projection kernel of CGS: each output entry is a
+/// dot product of one column of A with x, which is exactly how the paper's
+/// optimized MAGMA DGEMV assigns thread blocks.
+void gemv_t(int m, int n, double alpha, const double* a, int lda,
+            const double* x, double beta, double* y);
+
+/// Rank-1 update A := A + alpha * x * y^T.
+void ger(int m, int n, double alpha, const double* x, const double* y,
+         double* a, int lda);
+
+}  // namespace cagmres::blas

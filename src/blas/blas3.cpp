@@ -1,0 +1,126 @@
+#include "blas/blas3.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cagmres::blas {
+
+namespace {
+
+inline const double* elem(const double* a, int lda, int i, int j) {
+  return a + static_cast<std::size_t>(j) * lda + i;
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    if (beta == 0.0) {
+      for (int i = 0; i < m; ++i) cj[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  if (ta == Trans::N && tb == Trans::N) {
+    // C += alpha * A * B, unit-stride over columns of A.
+    for (int j = 0; j < n; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const double t = alpha * *elem(b, ldb, p, j);
+        const double* ap = a + static_cast<std::size_t>(p) * lda;
+        for (int i = 0; i < m; ++i) cj[i] += t * ap[i];
+      }
+    }
+  } else if (ta == Trans::T && tb == Trans::N) {
+    // C(i,j) += alpha * dot(A(:,i), B(:,j)).
+    for (int j = 0; j < n; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      const double* bj = b + static_cast<std::size_t>(j) * ldb;
+      for (int i = 0; i < m; ++i) {
+        const double* ai = a + static_cast<std::size_t>(i) * lda;
+        double acc = 0.0;
+        for (int p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        cj[i] += alpha * acc;
+      }
+    }
+  } else if (ta == Trans::N && tb == Trans::T) {
+    for (int j = 0; j < n; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const double t = alpha * *elem(b, ldb, j, p);
+        const double* ap = a + static_cast<std::size_t>(p) * lda;
+        for (int i = 0; i < m; ++i) cj[i] += t * ap[i];
+      }
+    }
+  } else {  // T, T
+    for (int j = 0; j < n; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      for (int i = 0; i < m; ++i) {
+        const double* ai = a + static_cast<std::size_t>(i) * lda;
+        double acc = 0.0;
+        for (int p = 0; p < k; ++p) acc += ai[p] * *elem(b, ldb, j, p);
+        cj[i] += alpha * acc;
+      }
+    }
+  }
+}
+
+void syrk_tn(int m, int n, const double* a, int lda, double* c, int ldc) {
+  // Columns are independent; each Gram entry is a serial dot product, so
+  // the result does not depend on the thread count.
+#pragma omp parallel for schedule(dynamic) if (static_cast<long long>(m) * n > 1 << 16)
+  for (int j = 0; j < n; ++j) {
+    const double* aj = a + static_cast<std::size_t>(j) * lda;
+    for (int i = 0; i <= j; ++i) {
+      const double* ai = a + static_cast<std::size_t>(i) * lda;
+      double acc = 0.0;
+      for (int p = 0; p < m; ++p) acc += ai[p] * aj[p];
+      c[static_cast<std::size_t>(j) * ldc + i] = acc;
+      c[static_cast<std::size_t>(i) * ldc + j] = acc;
+    }
+  }
+}
+
+void trsm_right_upper(int m, int n, const double* r, int ldr, double* b,
+                      int ldb) {
+  // Column j of B*R^{-1} depends only on columns 0..j of B: solve left to
+  // right, subtracting the already-finished columns.
+  for (int j = 0; j < n; ++j) {
+    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    for (int p = 0; p < j; ++p) {
+      const double t = *elem(r, ldr, p, j);
+      if (t == 0.0) continue;
+      const double* bp = b + static_cast<std::size_t>(p) * ldb;
+      for (int i = 0; i < m; ++i) bj[i] -= t * bp[i];
+    }
+    const double d = *elem(r, ldr, j, j);
+    CAGMRES_REQUIRE(d != 0.0, "trsm: zero diagonal in R");
+    const double inv = 1.0 / d;
+    for (int i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+void trmm_right_upper(int m, int n, const double* r, int ldr, double* b,
+                      int ldb) {
+  // Process right to left so untouched columns of B remain available.
+  for (int j = n - 1; j >= 0; --j) {
+    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    const double d = *elem(r, ldr, j, j);
+    for (int i = 0; i < m; ++i) bj[i] *= d;
+    for (int p = 0; p < j; ++p) {
+      const double t = *elem(r, ldr, p, j);
+      if (t == 0.0) continue;
+      const double* bp = b + static_cast<std::size_t>(p) * ldb;
+      for (int i = 0; i < m; ++i) bj[i] += t * bp[i];
+    }
+  }
+}
+
+}  // namespace cagmres::blas

@@ -1,0 +1,30 @@
+// Level-3 dense kernels on column-major storage.
+#pragma once
+
+namespace cagmres::blas {
+
+/// Transpose selector for gemm operands.
+enum class Trans { N, T };
+
+/// C := alpha * op(A) * op(B) + beta * C, all column-major.
+/// op(A) is m x k, op(B) is k x n, C is m x n.
+void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc);
+
+/// Gram matrix C := A^T * A for a tall-skinny m x n panel A (C is n x n).
+/// Exploits symmetry: only the upper triangle is computed, then mirrored.
+/// This is the BLAS-3 workhorse of CholQR/SVQR.
+void syrk_tn(int m, int n, const double* a, int lda, double* c, int ldc);
+
+/// Right triangular solve B := B * R^{-1} for upper-triangular n x n R and
+/// m x n panel B. This is the CholQR "orthogonalize by triangular solve" step.
+void trsm_right_upper(int m, int n, const double* r, int ldr, double* b,
+                      int ldb);
+
+/// Right triangular multiply B := B * R for upper-triangular R (used when
+/// reconstructing V = Q*R in error metrics and tests).
+void trmm_right_upper(int m, int n, const double* r, int ldr, double* b,
+                      int ldb);
+
+}  // namespace cagmres::blas

@@ -1,0 +1,153 @@
+#include "blas/eig.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace cagmres::blas {
+
+std::vector<std::complex<double>> hessenberg_eig(const DMat& h) {
+  const int n = h.rows();
+  CAGMRES_REQUIRE(h.cols() == n, "hessenberg_eig: matrix not square");
+  std::vector<std::complex<double>> eig(static_cast<std::size_t>(n));
+  if (n == 0) return eig;
+
+  DMat a = h;
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 2; i < n; ++i) a(i, j) = 0.0;
+  }
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  double anorm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(0, i - 1); j < n; ++j) anorm += std::fabs(a(i, j));
+  }
+  if (anorm == 0.0) return eig;  // zero matrix: all eigenvalues zero
+
+  int nn = n - 1;
+  double t = 0.0;  // accumulated exceptional shifts
+  while (nn >= 0) {
+    int its = 0;
+    int l;
+    do {
+      // Look for a single small subdiagonal element to split the matrix.
+      for (l = nn; l >= 1; --l) {
+        double s = std::fabs(a(l - 1, l - 1)) + std::fabs(a(l, l));
+        if (s == 0.0) s = anorm;
+        if (std::fabs(a(l, l - 1)) <= eps * s) {
+          a(l, l - 1) = 0.0;
+          break;
+        }
+      }
+      double x = a(nn, nn);
+      if (l == nn) {  // one real root found
+        eig[static_cast<std::size_t>(nn)] = {x + t, 0.0};
+        --nn;
+      } else {
+        double y = a(nn - 1, nn - 1);
+        double w = a(nn, nn - 1) * a(nn - 1, nn);
+        if (l == nn - 1) {  // a 2x2 block: two roots found
+          double p = 0.5 * (y - x);
+          double q = p * p + w;
+          double z = std::sqrt(std::fabs(q));
+          x += t;
+          if (q >= 0.0) {  // real pair
+            z = p + std::copysign(z, p);
+            double r1 = x + z;
+            double r2 = (z != 0.0) ? x - w / z : x + z;
+            eig[static_cast<std::size_t>(nn - 1)] = {r1, 0.0};
+            eig[static_cast<std::size_t>(nn)] = {r2, 0.0};
+          } else {  // complex conjugate pair
+            eig[static_cast<std::size_t>(nn - 1)] = {x + p, z};
+            eig[static_cast<std::size_t>(nn)] = {x + p, -z};
+          }
+          nn -= 2;
+        } else {  // no root yet: perform a double QR step
+          CAGMRES_REQUIRE(its < 60, "hessenberg_eig: QR iteration stalled");
+          if (its == 10 || its == 20 || its == 30 || its == 40 || its == 50) {
+            // Exceptional shift to break symmetry-induced cycles.
+            t += x;
+            for (int i = 0; i <= nn; ++i) a(i, i) -= x;
+            double s = std::fabs(a(nn, nn - 1)) + std::fabs(a(nn - 1, nn - 2));
+            y = x = 0.75 * s;
+            w = -0.4375 * s * s;
+          }
+          ++its;
+          int m;
+          double p = 0.0, q = 0.0, r = 0.0, z = 0.0;
+          for (m = nn - 2; m >= l; --m) {
+            z = a(m, m);
+            double rr = x - z;
+            double ss = y - z;
+            p = (rr * ss - w) / a(m + 1, m) + a(m, m + 1);
+            q = a(m + 1, m + 1) - z - rr - ss;
+            r = a(m + 2, m + 1);
+            double s = std::fabs(p) + std::fabs(q) + std::fabs(r);
+            p /= s;
+            q /= s;
+            r /= s;
+            if (m == l) break;
+            const double u =
+                std::fabs(a(m, m - 1)) * (std::fabs(q) + std::fabs(r));
+            const double v =
+                std::fabs(p) * (std::fabs(a(m - 1, m - 1)) + std::fabs(z) +
+                                std::fabs(a(m + 1, m + 1)));
+            if (u <= eps * v) break;
+          }
+          for (int i = m + 2; i <= nn; ++i) {
+            a(i, i - 2) = 0.0;
+            if (i != m + 2) a(i, i - 3) = 0.0;
+          }
+          for (int k = m; k <= nn - 1; ++k) {
+            if (k != m) {
+              p = a(k, k - 1);
+              q = a(k + 1, k - 1);
+              r = (k != nn - 1) ? a(k + 2, k - 1) : 0.0;
+              x = std::fabs(p) + std::fabs(q) + std::fabs(r);
+              if (x != 0.0) {
+                p /= x;
+                q /= x;
+                r /= x;
+              }
+            }
+            double s = std::copysign(std::sqrt(p * p + q * q + r * r), p);
+            if (s == 0.0) continue;
+            if (k == m) {
+              if (l != m) a(k, k - 1) = -a(k, k - 1);
+            } else {
+              a(k, k - 1) = -s * x;
+            }
+            p += s;
+            x = p / s;
+            double yy = q / s;
+            z = r / s;
+            q /= p;
+            r /= p;
+            for (int j = k; j <= nn; ++j) {  // row modification
+              double pp = a(k, j) + q * a(k + 1, j);
+              if (k != nn - 1) {
+                pp += r * a(k + 2, j);
+                a(k + 2, j) -= pp * z;
+              }
+              a(k + 1, j) -= pp * yy;
+              a(k, j) -= pp * x;
+            }
+            const int mmin = (nn < k + 3) ? nn : k + 3;
+            for (int i = l; i <= mmin; ++i) {  // column modification
+              double pp = x * a(i, k) + yy * a(i, k + 1);
+              if (k != nn - 1) {
+                pp += z * a(i, k + 2);
+                a(i, k + 2) -= pp * r;
+              }
+              a(i, k + 1) -= pp * q;
+              a(i, k) -= pp;
+            }
+          }
+          l = 0;  // keep iterating on this block
+        }
+      }
+    } while (nn >= 0 && l < nn - 1);
+  }
+  return eig;
+}
+
+}  // namespace cagmres::blas

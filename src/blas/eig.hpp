@@ -1,0 +1,23 @@
+// Eigenvalues of an upper Hessenberg matrix.
+//
+// CA-GMRES harvests Ritz values (eigenvalues of the m x m Hessenberg matrix
+// from the first restart cycle) to build the Newton basis shifts, so this
+// solver only needs eigenvalues, not vectors. We implement the classic
+// Francis implicit double-shift QR iteration (EISPACK hqr), which handles
+// real matrices with complex-conjugate eigenvalue pairs in real arithmetic.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "blas/matrix.hpp"
+
+namespace cagmres::blas {
+
+/// Eigenvalues of an upper Hessenberg matrix `h` (entries below the first
+/// subdiagonal are ignored). Complex eigenvalues come out as adjacent
+/// conjugate pairs. Throws cagmres::Error if the QR iteration fails to
+/// converge (does not happen for the well-scaled GMRES Hessenberg matrices).
+std::vector<std::complex<double>> hessenberg_eig(const DMat& h);
+
+}  // namespace cagmres::blas

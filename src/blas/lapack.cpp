@@ -1,0 +1,228 @@
+#include "blas/lapack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "blas/blas1.hpp"
+
+namespace cagmres::blas {
+
+int potrf_upper(DMat& a) {
+  const int n = a.rows();
+  CAGMRES_REQUIRE(a.cols() == n, "potrf: matrix not square");
+  for (int j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (int p = 0; p < j; ++p) d -= a(p, j) * a(p, j);
+    if (!(d > 0.0)) return j;  // also catches NaN
+    d = std::sqrt(d);
+    a(j, j) = d;
+    const double inv = 1.0 / d;
+    for (int k = j + 1; k < n; ++k) {
+      double v = a(j, k);
+      for (int p = 0; p < j; ++p) v -= a(p, j) * a(p, k);
+      a(j, k) = v * inv;
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) a(i, j) = 0.0;
+  }
+  return -1;
+}
+
+void geqrf(DMat& a, std::vector<double>& tau) {
+  const int m = a.rows();
+  const int n = a.cols();
+  CAGMRES_REQUIRE(m >= n, "geqrf: need m >= n");
+  tau.assign(static_cast<std::size_t>(n), 0.0);
+  for (int k = 0; k < n; ++k) {
+    double* x = a.col(k) + k;  // column k, rows k..m-1
+    const int len = m - k;
+    const double alpha = x[0];
+    const double xnorm = nrm2(len - 1, x + 1);
+    if (xnorm == 0.0 && alpha >= 0.0) {
+      tau[static_cast<std::size_t>(k)] = 0.0;
+      continue;
+    }
+    double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+    const double t = (beta - alpha) / beta;
+    const double inv = 1.0 / (alpha - beta);
+    for (int i = 1; i < len; ++i) x[i] *= inv;
+    x[0] = beta;
+    tau[static_cast<std::size_t>(k)] = t;
+    // Apply H = I - tau * v v^T to trailing columns.
+    for (int j = k + 1; j < n; ++j) {
+      double* y = a.col(j) + k;
+      double w = y[0];
+      for (int i = 1; i < len; ++i) w += x[i] * y[i];
+      w *= t;
+      y[0] -= w;
+      for (int i = 1; i < len; ++i) y[i] -= w * x[i];
+    }
+  }
+}
+
+void orgqr(const DMat& qr, const std::vector<double>& tau, DMat& q) {
+  const int m = qr.rows();
+  const int n = qr.cols();
+  q = DMat(m, n);
+  for (int j = 0; j < n; ++j) q(j, j) = 1.0;
+  // Accumulate reflectors back to front.
+  for (int k = n - 1; k >= 0; --k) {
+    const double t = tau[static_cast<std::size_t>(k)];
+    if (t == 0.0) continue;
+    const double* v = qr.col(k) + k;  // v[0] implicitly 1
+    const int len = m - k;
+    for (int j = 0; j < n; ++j) {
+      double* y = q.col(j) + k;
+      double w = y[0];
+      for (int i = 1; i < len; ++i) w += v[i] * y[i];
+      w *= t;
+      y[0] -= w;
+      for (int i = 1; i < len; ++i) y[i] -= w * v[i];
+    }
+  }
+}
+
+void qr_explicit(const DMat& v, DMat& q, DMat& r) {
+  DMat work = v;
+  std::vector<double> tau;
+  geqrf(work, tau);
+  const int n = v.cols();
+  r = DMat(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j && i < n; ++i) r(i, j) = work(i, j);
+  }
+  orgqr(work, tau, q);
+  // Normalize sign so diag(R) >= 0.
+  for (int j = 0; j < n; ++j) {
+    if (r(j, j) < 0.0) {
+      for (int k = j; k < n; ++k) r(j, k) = -r(j, k);
+      double* qj = q.col(j);
+      for (int i = 0; i < q.rows(); ++i) qj[i] = -qj[i];
+    }
+  }
+}
+
+PivotedQr qr_pivoted(const DMat& a, double rtol) {
+  const int m = a.rows();
+  const int n = a.cols();
+  CAGMRES_REQUIRE(m >= n, "qr_pivoted: need m >= n");
+  PivotedQr out;
+  out.qr = a;
+  out.tau.assign(static_cast<std::size_t>(n), 0.0);
+  out.jpvt.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) out.jpvt[static_cast<std::size_t>(j)] = j;
+
+  // Running column norms with the classic downdate + recompute safeguard.
+  std::vector<double> colnorm(static_cast<std::size_t>(n));
+  std::vector<double> colnorm_ref(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    colnorm[static_cast<std::size_t>(j)] = nrm2(m, out.qr.col(j));
+    colnorm_ref[static_cast<std::size_t>(j)] = colnorm[static_cast<std::size_t>(j)];
+  }
+
+  DMat& q = out.qr;
+  double first_diag = 0.0;
+  out.rank = n;
+  for (int k = 0; k < n; ++k) {
+    // Pivot: bring the largest remaining column to position k.
+    int piv = k;
+    for (int j = k + 1; j < n; ++j) {
+      if (colnorm[static_cast<std::size_t>(j)] >
+          colnorm[static_cast<std::size_t>(piv)]) {
+        piv = j;
+      }
+    }
+    if (piv != k) {
+      for (int i = 0; i < m; ++i) std::swap(q(i, k), q(i, piv));
+      std::swap(colnorm[static_cast<std::size_t>(k)],
+                colnorm[static_cast<std::size_t>(piv)]);
+      std::swap(colnorm_ref[static_cast<std::size_t>(k)],
+                colnorm_ref[static_cast<std::size_t>(piv)]);
+      std::swap(out.jpvt[static_cast<std::size_t>(k)],
+                out.jpvt[static_cast<std::size_t>(piv)]);
+    }
+
+    // Householder reflector for column k.
+    double* x = q.col(k) + k;
+    const int len = m - k;
+    const double alpha = x[0];
+    const double xnorm = nrm2(len - 1, x + 1);
+    double t = 0.0;
+    if (!(xnorm == 0.0 && alpha >= 0.0)) {
+      const double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+      t = (beta - alpha) / beta;
+      const double inv = 1.0 / (alpha - beta);
+      for (int i = 1; i < len; ++i) x[i] *= inv;
+      x[0] = beta;
+    }
+    out.tau[static_cast<std::size_t>(k)] = t;
+    if (k == 0) {
+      first_diag = std::fabs(q(0, 0));
+      if (first_diag == 0.0) out.rank = 0;  // zero matrix
+    }
+    if (std::fabs(q(k, k)) < rtol * first_diag && out.rank == n) {
+      out.rank = k;
+    }
+
+    // Apply to the trailing columns and downdate their norms.
+    for (int j = k + 1; j < n; ++j) {
+      double* y = q.col(j) + k;
+      if (t != 0.0) {
+        double w = y[0];
+        for (int i = 1; i < len; ++i) w += x[i] * y[i];
+        w *= t;
+        y[0] -= w;
+        for (int i = 1; i < len; ++i) y[i] -= w * x[i];
+      }
+      double& cn = colnorm[static_cast<std::size_t>(j)];
+      if (cn != 0.0) {
+        const double ratio = std::fabs(y[0]) / cn;
+        const double tmp = std::max(0.0, 1.0 - ratio * ratio);
+        cn *= std::sqrt(tmp);
+        // Recompute when cancellation ate the running value.
+        if (cn <= 0.05 * colnorm_ref[static_cast<std::size_t>(j)]) {
+          cn = nrm2(m - k - 1, q.col(j) + k + 1);
+          colnorm_ref[static_cast<std::size_t>(j)] = cn;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void trsv_upper(const DMat& r, double* b) {
+  const int n = r.rows();
+  CAGMRES_REQUIRE(r.cols() == n, "trsv: matrix not square");
+  for (int i = n - 1; i >= 0; --i) {
+    double v = b[i];
+    for (int j = i + 1; j < n; ++j) v -= r(i, j) * b[j];
+    const double d = r(i, i);
+    CAGMRES_REQUIRE(d != 0.0, "trsv: singular R");
+    b[i] = v / d;
+  }
+}
+
+void trtri_upper(DMat& r) {
+  // Left-to-right column sweep (LAPACK dtrti2): when column j is processed
+  // the leading (j x j) block already holds its own inverse, so
+  // inv(0:j-1, j) = -inv_block * r(0:j-1, j) / r(j, j).
+  const int n = r.rows();
+  CAGMRES_REQUIRE(r.cols() == n, "trtri: matrix not square");
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const double d = r(j, j);
+    CAGMRES_REQUIRE(d != 0.0, "trtri: singular R");
+    const double invd = 1.0 / d;
+    for (int i = 0; i < j; ++i) {
+      double acc = 0.0;
+      for (int k = i; k < j; ++k) acc += r(i, k) * r(k, j);
+      w[static_cast<std::size_t>(i)] = acc;
+    }
+    for (int i = 0; i < j; ++i) r(i, j) = -w[static_cast<std::size_t>(i)] * invd;
+    r(j, j) = invd;
+  }
+}
+
+}  // namespace cagmres::blas

@@ -1,0 +1,51 @@
+// LAPACK-lite: the small dense factorizations CA-GMRES needs on the host.
+//
+// Everything here operates on matrices of dimension O(s) or O(m) — tiny
+// compared to the n-dimensional panels — so clarity beats blocking.
+#pragma once
+
+#include "blas/matrix.hpp"
+
+namespace cagmres::blas {
+
+/// Upper Cholesky factorization B = R^T R in place (upper triangle of `a`
+/// becomes R; the strict lower triangle is zeroed).
+/// Returns -1 on success, or the 0-based column index of the first
+/// non-positive pivot (the CholQR breakdown signal — the matrix is left
+/// partially factored and must not be used).
+int potrf_upper(DMat& a);
+
+/// Householder QR of an m x n (m >= n) matrix in place: on exit the upper
+/// triangle of `a` holds R and the lower trapezoid holds the Householder
+/// vectors; `tau` receives the n reflector scalars.
+void geqrf(DMat& a, std::vector<double>& tau);
+
+/// Forms the explicit m x n orthonormal Q from geqrf output (the paper's
+/// implementation also forms Q explicitly; see its footnote 6).
+void orgqr(const DMat& qr, const std::vector<double>& tau, DMat& q);
+
+/// Convenience: computes the thin QR factorization of `v` (m x n, m >= n),
+/// returning Q in `q` (m x n) and R in `r` (n x n upper triangular).
+/// The diagonal of R is forced non-negative by column sign flips so that QR
+/// factorizations are unique and comparable across methods.
+void qr_explicit(const DMat& v, DMat& q, DMat& r);
+
+/// Householder QR with column pivoting (rank-revealing QR — the direction
+/// the paper's conclusion cites via Demmel et al. [10]). Factors
+/// A P = Q R with non-increasing |R(j,j)|; `rank` is the numerical rank
+/// with respect to rtol (first diagonal below rtol * |R(0,0)| truncates).
+struct PivotedQr {
+  DMat qr;                 ///< packed Householder form (as geqrf)
+  std::vector<double> tau; ///< reflector scalars
+  std::vector<int> jpvt;   ///< column permutation: A(:, jpvt[k]) -> col k
+  int rank = 0;            ///< numerical rank at the given tolerance
+};
+PivotedQr qr_pivoted(const DMat& a, double rtol = 1e-12);
+
+/// Solves R x = b in place for upper-triangular R (n x n); b has n entries.
+void trsv_upper(const DMat& r, double* b);
+
+/// In-place inversion of an upper triangular matrix (small n only).
+void trtri_upper(DMat& r);
+
+}  // namespace cagmres::blas

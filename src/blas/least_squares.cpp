@@ -1,0 +1,82 @@
+#include "blas/least_squares.hpp"
+
+#include <cmath>
+
+namespace cagmres::blas {
+
+GivensLS::GivensLS(int max_cols, double beta)
+    : max_cols_(max_cols),
+      r_(max_cols, max_cols),
+      g_(static_cast<std::size_t>(max_cols) + 1, 0.0),
+      cs_(static_cast<std::size_t>(max_cols), 0.0),
+      sn_(static_cast<std::size_t>(max_cols), 0.0) {
+  CAGMRES_REQUIRE(max_cols >= 0, "negative column count");
+  g_[0] = beta;
+}
+
+double GivensLS::append_column(const double* hcol) {
+  CAGMRES_REQUIRE(k_ < max_cols_, "GivensLS: too many columns");
+  const int j = k_;
+  // Work on a local copy of the new column (j+2 entries).
+  std::vector<double> v(hcol, hcol + j + 2);
+  // Apply the j previous rotations.
+  for (int i = 0; i < j; ++i) {
+    const double t = cs_[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)] +
+                     sn_[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i) + 1];
+    v[static_cast<std::size_t>(i) + 1] =
+        -sn_[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)] +
+        cs_[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i) + 1];
+    v[static_cast<std::size_t>(i)] = t;
+  }
+  // New rotation to annihilate the subdiagonal entry.
+  const double a = v[static_cast<std::size_t>(j)];
+  const double b = v[static_cast<std::size_t>(j) + 1];
+  const double rho = std::hypot(a, b);
+  double c = 1.0, s = 0.0;
+  if (rho > 0.0) {
+    c = a / rho;
+    s = b / rho;
+  }
+  cs_[static_cast<std::size_t>(j)] = c;
+  sn_[static_cast<std::size_t>(j)] = s;
+  v[static_cast<std::size_t>(j)] = rho;
+  for (int i = 0; i <= j; ++i) r_(i, j) = v[static_cast<std::size_t>(i)];
+  // Rotate the rhs.
+  const double gj = g_[static_cast<std::size_t>(j)];
+  g_[static_cast<std::size_t>(j)] = c * gj;
+  g_[static_cast<std::size_t>(j) + 1] = -s * gj;
+  ++k_;
+  return std::fabs(g_[static_cast<std::size_t>(k_)]);
+}
+
+double GivensLS::residual_norm() const {
+  return std::fabs(g_[static_cast<std::size_t>(k_)]);
+}
+
+std::vector<double> GivensLS::solve() const {
+  std::vector<double> y(g_.begin(), g_.begin() + k_);
+  for (int i = k_ - 1; i >= 0; --i) {
+    double v = y[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k_; ++j) v -= r_(i, j) * y[static_cast<std::size_t>(j)];
+    const double d = r_(i, i);
+    CAGMRES_REQUIRE(d != 0.0, "GivensLS: singular triangular factor");
+    y[static_cast<std::size_t>(i)] = v / d;
+  }
+  return y;
+}
+
+std::vector<double> solve_hessenberg_ls(const DMat& h, double beta,
+                                        double* residual_norm) {
+  const int m = h.cols();
+  CAGMRES_REQUIRE(h.rows() == m + 1, "H must be (m+1) x m");
+  GivensLS ls(m, beta);
+  std::vector<double> col(static_cast<std::size_t>(m) + 1);
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i <= j + 1; ++i) col[static_cast<std::size_t>(i)] = h(i, j);
+    ls.append_column(col.data());
+  }
+  if (residual_norm != nullptr) *residual_norm = ls.residual_norm();
+  return ls.solve();
+}
+
+}  // namespace cagmres::blas

@@ -1,0 +1,55 @@
+// Hessenberg least-squares solvers for the GMRES projected problem.
+//
+// GMRES updates its solution by minimizing ||beta*e1 - H y|| where H is the
+// (m+1) x m upper Hessenberg matrix from the Arnoldi (or CA) process. The
+// standard technique is a progressive Givens QR of H: each new column costs
+// O(m) and the rotated right-hand side's trailing entry gives the residual
+// norm for free — which is how GMRES monitors convergence without forming
+// the residual vector.
+#pragma once
+
+#include <vector>
+
+#include "blas/matrix.hpp"
+
+namespace cagmres::blas {
+
+/// Progressive Givens least-squares solver for Hessenberg systems.
+class GivensLS {
+ public:
+  /// Prepares for up to max_cols columns; rhs starts as beta * e1.
+  GivensLS(int max_cols, double beta);
+
+  /// Appends column j (0-based, must be appended in order) with entries
+  /// hcol[0..j+1] = H(0..j+1, j). Returns |residual| of the LS problem using
+  /// the first j+1 columns.
+  /// Caveat: an all-zero column makes the triangular factor singular —
+  /// solve() then throws and the returned residual estimate is not
+  /// meaningful. GMRES never produces one (happy breakdown is detected on
+  /// the basis-vector norm before the column reaches the LS solver).
+  double append_column(const double* hcol);
+
+  /// Number of columns appended so far.
+  int size() const { return k_; }
+
+  /// Current least-squares residual norm.
+  double residual_norm() const;
+
+  /// Solves the triangular system for the k appended columns.
+  std::vector<double> solve() const;
+
+ private:
+  int max_cols_;
+  int k_ = 0;
+  DMat r_;                  // triangular factor, (max_cols) x (max_cols)
+  std::vector<double> g_;   // rotated rhs, max_cols+1
+  std::vector<double> cs_;  // rotation cosines
+  std::vector<double> sn_;  // rotation sines
+};
+
+/// One-shot solve of min ||beta*e1 - H y|| for an (m+1) x m Hessenberg H.
+/// Returns y; *residual_norm (if non-null) receives the minimal residual.
+std::vector<double> solve_hessenberg_ls(const DMat& h, double beta,
+                                        double* residual_norm = nullptr);
+
+}  // namespace cagmres::blas

@@ -1,0 +1,65 @@
+// Column-major dense matrix container and views.
+//
+// Everything dense in the library (tall-skinny panels, Gram matrices,
+// Hessenberg matrices, R factors) is column-major with an explicit leading
+// dimension, matching LAPACK conventions so the kernels below read like
+// their reference counterparts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cagmres::blas {
+
+/// Owning column-major dense matrix of doubles.
+class DMat {
+ public:
+  DMat() = default;
+
+  /// rows x cols matrix, zero-initialized, leading dimension == rows.
+  DMat(int rows, int cols)
+      : rows_(rows), cols_(cols), ld_(rows),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0.0) {
+    CAGMRES_REQUIRE(rows >= 0 && cols >= 0, "negative dimension");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return ld_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Pointer to the start of column j.
+  double* col(int j) {
+    CAGMRES_ASSERT(0 <= j && j < cols_, "column out of range");
+    return data_.data() + static_cast<std::size_t>(j) * ld_;
+  }
+  const double* col(int j) const {
+    CAGMRES_ASSERT(0 <= j && j < cols_, "column out of range");
+    return data_.data() + static_cast<std::size_t>(j) * ld_;
+  }
+
+  double& operator()(int i, int j) {
+    CAGMRES_ASSERT(0 <= i && i < rows_ && 0 <= j && j < cols_, "out of range");
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+  double operator()(int i, int j) const {
+    CAGMRES_ASSERT(0 <= i && i < rows_ && 0 <= j && j < cols_, "out of range");
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  /// Sets every entry to v.
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cagmres::blas

@@ -1,0 +1,78 @@
+#include "blas/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cagmres::blas {
+
+EighResult jacobi_eigh(const DMat& a, int max_sweeps) {
+  const int n = a.rows();
+  CAGMRES_REQUIRE(a.cols() == n, "jacobi_eigh: matrix not square");
+  DMat m = a;
+  DMat u(n, n);
+  for (int i = 0; i < n; ++i) u(i, i) = 1.0;
+
+  EighResult res;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    res.sweeps = sweep + 1;
+    double off = 0.0;
+    for (int j = 1; j < n; ++j) {
+      for (int i = 0; i < j; ++i) off += m(i, j) * m(i, j);
+    }
+    double diag = 0.0;
+    for (int i = 0; i < n; ++i) diag += m(i, i) * m(i, i);
+    if (off <= 1e-30 * (diag + 1e-300)) break;
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (apq == 0.0) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        // Stable rotation angle computation (Golub & Van Loan §8.5).
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply J^T M J with J the (p,q) rotation.
+        for (int k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double ukp = u(k, p);
+          const double ukq = u(k, q);
+          u(k, p) = c * ukp - s * ukq;
+          u(k, q) = s * ukp + c * ukq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending.
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](int i, int j) { return m(i, i) > m(j, j); });
+  res.w.resize(static_cast<std::size_t>(n));
+  res.u = DMat(n, n);
+  for (int j = 0; j < n; ++j) {
+    const int src = idx[static_cast<std::size_t>(j)];
+    res.w[static_cast<std::size_t>(j)] = m(src, src);
+    for (int i = 0; i < n; ++i) res.u(i, j) = u(i, src);
+  }
+  return res;
+}
+
+}  // namespace cagmres::blas

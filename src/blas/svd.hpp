@@ -1,0 +1,26 @@
+// Symmetric eigendecomposition via cyclic Jacobi rotations.
+//
+// SVQR needs the SVD of the (s+1)x(s+1) Gram matrix B = V^T V. B is
+// symmetric positive semidefinite, so its SVD coincides with its
+// eigendecomposition B = U diag(w) U^T, which Jacobi computes to high
+// relative accuracy — exactly the property §V-D of the paper leans on.
+#pragma once
+
+#include <vector>
+
+#include "blas/matrix.hpp"
+
+namespace cagmres::blas {
+
+/// Result of a symmetric eigendecomposition A = U diag(w) U^T.
+struct EighResult {
+  std::vector<double> w;  ///< eigenvalues, descending
+  DMat u;                 ///< orthonormal eigenvectors (columns)
+  int sweeps = 0;         ///< Jacobi sweeps used
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+/// Converges quadratically; `max_sweeps` bounds the worst case.
+EighResult jacobi_eigh(const DMat& a, int max_sweeps = 64);
+
+}  // namespace cagmres::blas

@@ -1,0 +1,38 @@
+// Error handling utilities shared across the library.
+//
+// The library throws cagmres::Error for precondition violations and
+// unrecoverable numerical failures (e.g. Cholesky breakdown when the caller
+// disabled the fallback path). Hot loops use CAGMRES_ASSERT, which compiles
+// away in NDEBUG builds; API boundaries use CAGMRES_REQUIRE, which does not.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cagmres {
+
+/// Exception type thrown on precondition violations and numerical failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* cond, const char* file, int line,
+                       const std::string& msg);
+}  // namespace detail
+
+}  // namespace cagmres
+
+/// Always-on check for public API preconditions.
+#define CAGMRES_REQUIRE(cond, msg)                                    \
+  do {                                                                \
+    if (!(cond)) ::cagmres::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Debug-only check for internal invariants on hot paths.
+#ifdef NDEBUG
+#define CAGMRES_ASSERT(cond, msg) ((void)0)
+#else
+#define CAGMRES_ASSERT(cond, msg) CAGMRES_REQUIRE(cond, msg)
+#endif

@@ -1,0 +1,33 @@
+// Aligned plain-text table printer for the paper-style bench outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cagmres {
+
+/// Collects rows of cells and renders them with aligned columns.
+class Table {
+ public:
+  /// Starts a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Renders the table (headers, separator, rows).
+  std::string str() const;
+
+  /// Convenience numeric formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace cagmres

@@ -1,0 +1,311 @@
+#include "core/cagmres.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "blas/blas1.hpp"
+#include "blas/blas3.hpp"
+#include "blas/eig.hpp"
+#include "blas/least_squares.hpp"
+#include "common/error.hpp"
+#include "core/gmres.hpp"
+#include "core/hessenberg.hpp"
+#include "mpk/exec.hpp"
+#include "mpk/plan.hpp"
+#include "ortho/borth.hpp"
+#include "sim/device_blas.hpp"
+
+namespace cagmres::core {
+
+namespace {
+
+/// Generates `steps` shifted basis vectors from column c0 with one SpMV +
+/// AXPY per step (the paper's Fig. 15 fallback when MPK loses to SpMV).
+void generate_by_spmv(sim::Machine& m, mpk::MpkExecutor& spmv,
+                      sim::DistMultiVec& v, int c0, int steps,
+                      const Shifts& shifts) {
+  for (int i = 0; i < steps; ++i) {
+    const int c = c0 + i;
+    spmv.spmv(m, v, c, c + 1);
+    const double theta = shifts.re[static_cast<std::size_t>(i)];
+    const bool pair_second = shifts.im[static_cast<std::size_t>(i)] < 0.0;
+    if (theta != 0.0) {
+      for (int d = 0; d < m.n_devices(); ++d) {
+        sim::dev_axpy(m, d, v.local_rows(d), -theta, v.col(d, c),
+                      v.col(d, c + 1));
+      }
+    }
+    if (pair_second) {
+      const double beta = shifts.im[static_cast<std::size_t>(i) - 1];
+      for (int d = 0; d < m.n_devices(); ++d) {
+        sim::dev_axpy(m, d, v.local_rows(d), beta * beta, v.col(d, c - 1),
+                      v.col(d, c + 1));
+      }
+    }
+  }
+}
+
+/// C := C + C2 * R1 and R := R2 * R1 — the coefficient merge after a
+/// reorthogonalization pass (V = Q_prev(C1 + C2 R1) + Q(R2 R1)).
+void merge_reorth(blas::DMat& c, const blas::DMat& c2, blas::DMat& r_block,
+                  const blas::DMat& r2) {
+  const int prev = c.rows();
+  const int blk = c.cols();
+  if (prev > 0) {
+    blas::gemm(blas::Trans::N, blas::Trans::N, prev, blk, blk, 1.0, c2.data(),
+               c2.ld(), r_block.data(), r_block.ld(), 1.0, c.data(), c.ld());
+  }
+  blas::DMat merged(blk, blk);
+  blas::gemm(blas::Trans::N, blas::Trans::N, blk, blk, blk, 1.0, r2.data(),
+             r2.ld(), r_block.data(), r_block.ld(), 0.0, merged.data(),
+             merged.ld());
+  r_block = std::move(merged);
+}
+
+}  // namespace
+
+SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
+                     const SolverOptions& opts) {
+  CAGMRES_REQUIRE(problem.n_devices() == machine.n_devices(),
+                  "problem/machine device count mismatch");
+  CAGMRES_REQUIRE(opts.m >= 1 && opts.s >= 1, "bad (s, m)");
+  const int ng = machine.n_devices();
+  const int mm = opts.m;
+  const int s = std::min(opts.s, mm);
+  const std::vector<int> rows = problem.rows_per_device();
+
+  const mpk::MpkPlan plan1 = mpk::build_mpk_plan(problem.a, problem.offsets, 1);
+  mpk::MpkExecutor spmv(plan1);
+  mpk::MpkPlan plan_s;
+  std::unique_ptr<mpk::MpkExecutor> mpk_exec;
+  if (opts.use_mpk && s > 1) {
+    plan_s = mpk::build_mpk_plan(problem.a, problem.offsets, s);
+    mpk_exec = std::make_unique<mpk::MpkExecutor>(plan_s);
+  }
+
+  sim::DistMultiVec v(rows, mm + 1);
+  sim::DistMultiVec xwork(rows, 2);
+  sim::DistVec b(rows);
+  b.assign_from_host(problem.b);
+
+  SolveResult result;
+  SolveStats& st = result.stats;
+  const double t0 = machine.clock().elapsed();
+  const sim::PhaseTimers phases0 = machine.phases();
+
+  // Step shifts, reused for every block of every restart.
+  Shifts step_shifts;
+  if (opts.basis == Basis::kMonomial) {
+    step_shifts.re.assign(static_cast<std::size_t>(s), 0.0);
+    step_shifts.im.assign(static_cast<std::size_t>(s), 0.0);
+  }
+  bool have_shifts = (opts.basis == Basis::kMonomial);
+
+  // Adaptive block-size state (opts.adaptive_s): shared across restarts so
+  // a learned-safe s persists.
+  int s_current = s;
+  int clean_streak = 0;
+
+  double res = 0.0;
+  for (int restart = 0; restart < opts.max_restarts; ++restart) {
+    res = detail::compute_residual(machine, spmv, b, xwork, v, 0,
+                                   restart == 0);
+    if (restart == 0) {
+      st.initial_residual = res;
+      if (res == 0.0) {
+        st.converged = true;
+        break;
+      }
+    }
+    st.residual_history.push_back(res);
+    if (res <= opts.tol * st.initial_residual) {
+      st.converged = true;
+      break;
+    }
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
+    }
+
+    if (!have_shifts) {
+      // First restart: standard GMRES cycle, then harvest Ritz values.
+      detail::CycleOutcome cycle =
+          detail::arnoldi_cycle(machine, spmv, v, mm, opts.gmres_orth, res,
+                                opts.tol * st.initial_residual);
+      detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
+      st.iterations += cycle.k;
+      ++st.restarts;
+      blas::DMat h_sq(cycle.k, cycle.k);
+      for (int j = 0; j < cycle.k; ++j) {
+        for (int i = 0; i < cycle.k; ++i) h_sq(i, j) = cycle.h(i, j);
+      }
+      step_shifts = newton_shifts(blas::hessenberg_eig(h_sq), s);
+      machine.charge_host(sim::Kernel::kGeqrf,
+                          10.0 * static_cast<double>(cycle.k) * cycle.k *
+                              cycle.k,
+                          0.0);
+      have_shifts = true;
+      continue;
+    }
+
+    // --- CA restart cycle ---
+    blas::DMat r_total(mm + 1, mm + 1);
+    r_total(0, 0) = 1.0;  // g_0 = q_0
+    Shifts col_shifts;
+    col_shifts.re.assign(static_cast<std::size_t>(mm), 0.0);
+    col_shifts.im.assign(static_cast<std::size_t>(mm), 0.0);
+    // Columns where a block's recursion restarted from the orthonormalized
+    // vector (see hessenberg_blocked).
+    std::vector<char> is_block_start(static_cast<std::size_t>(mm) + 1, 0);
+    is_block_start[0] = 1;
+
+    int done = 1;
+    bool cycle_converged = false;
+    while (done < mm + 1) {
+      const int steps =
+          std::min(opts.adaptive_s ? s_current : s, mm + 1 - done);
+      st.block_sizes.push_back(steps);
+      is_block_start[static_cast<std::size_t>(done) - 1] = 1;
+      const Shifts bs = block_shifts(step_shifts, steps);
+      for (int i = 0; i < steps; ++i) {
+        col_shifts.re[static_cast<std::size_t>(done - 1 + i)] =
+            bs.re[static_cast<std::size_t>(i)];
+        col_shifts.im[static_cast<std::size_t>(done - 1 + i)] =
+            bs.im[static_cast<std::size_t>(i)];
+      }
+      if (mpk_exec != nullptr && steps > 1) {
+        mpk_exec->apply(machine, v, done - 1, steps,
+                        {bs.re.data(), bs.im.data()});
+      } else {
+        generate_by_spmv(machine, spmv, v, done - 1, steps, bs);
+      }
+
+      // Snapshot of the block (pre-TSQR, post-BOrth) for error
+      // instrumentation; untouched simulated clock (measurement only).
+      auto snapshot_block = [&]() {
+        sim::DistMultiVec snap(rows, steps);
+        for (int d = 0; d < ng; ++d) {
+          for (int i = 0; i < steps; ++i) {
+            blas::copy(v.local_rows(d), v.col(d, done + i), snap.col(d, i));
+          }
+        }
+        return snap;
+      };
+      auto record_errors = [&](const sim::DistMultiVec& before,
+                               const blas::DMat& r_blk, int pass) {
+        TsqrErrorSample sample;
+        sample.restart = restart;
+        sample.pass = pass;
+        sample.kappa_block = ortho::condition_number(before, 0, steps);
+        sim::DistMultiVec after = snapshot_block();
+        sample.errors = ortho::measure_errors(after, before, 0, steps, r_blk);
+        st.tsqr_errors.push_back(sample);
+      };
+
+      blas::DMat c;
+      {
+        sim::PhaseScope phase(machine, "borth");
+        c = ortho::borth(machine, opts.borth, v, done, done + steps);
+      }
+      sim::DistMultiVec pre_tsqr;
+      if (opts.collect_tsqr_errors) pre_tsqr = snapshot_block();
+      ortho::TsqrResult tq;
+      {
+        sim::PhaseScope phase(machine, "tsqr");
+        tq = ortho::tsqr(machine, opts.tsqr, v, done, done + steps,
+                         opts.tsqr_opts);
+      }
+      if (opts.collect_tsqr_errors) record_errors(pre_tsqr, tq.r, 0);
+      if (tq.breakdown) ++st.cholqr_breakdowns;
+      if (opts.adaptive_s) {
+        if (tq.breakdown) {
+          s_current = std::max(opts.adaptive_min_s, s_current / 2);
+          clean_streak = 0;
+        } else if (++clean_streak >= 3 && s_current < s) {
+          ++s_current;
+          clean_streak = 0;
+        }
+      }
+      const bool reorth =
+          opts.reorthogonalize ||
+          (tq.breakdown && opts.reorth_on_breakdown);
+      if (reorth) {
+        blas::DMat c2;
+        {
+          sim::PhaseScope phase(machine, "borth");
+          c2 = ortho::borth(machine, opts.borth, v, done, done + steps);
+        }
+        if (opts.collect_tsqr_errors) pre_tsqr = snapshot_block();
+        ortho::TsqrResult tq2;
+        {
+          sim::PhaseScope phase(machine, "tsqr");
+          tq2 = ortho::tsqr(machine, opts.tsqr, v, done, done + steps,
+                            opts.tsqr_opts);
+        }
+        if (opts.collect_tsqr_errors) record_errors(pre_tsqr, tq2.r, 1);
+        merge_reorth(c, c2, tq.r, tq2.r);
+        machine.charge_host(sim::Kernel::kGemm,
+                            2.0 * static_cast<double>(done) * steps * steps,
+                            0.0);
+        ++st.reorth_blocks;
+      }
+
+      // Record the block's columns of the global triangular factor.
+      for (int i = 0; i < steps; ++i) {
+        const int col = done + i;
+        for (int row = 0; row < done; ++row) r_total(row, col) = c(row, i);
+        for (int row = 0; row <= i; ++row) {
+          r_total(done + row, col) = tq.r(row, i);
+        }
+      }
+      done += steps;
+      st.iterations += steps;
+
+      // Host-side convergence probe at block granularity: assemble the
+      // Hessenberg matrix for the columns so far and check the LS residual.
+      const int k = done - 1;
+      Shifts used;
+      used.re.assign(col_shifts.re.begin(), col_shifts.re.begin() + k);
+      used.im.assign(col_shifts.im.begin(), col_shifts.im.begin() + k);
+      blas::DMat r_lead(k + 1, k + 1);
+      for (int j = 0; j <= k; ++j) {
+        for (int i = 0; i <= j; ++i) r_lead(i, j) = r_total(i, j);
+      }
+      const std::vector<char> starts(
+          is_block_start.begin(), is_block_start.begin() + k + 1);
+      const blas::DMat h = hessenberg_blocked(r_lead, starts, used);
+      machine.charge_host(sim::Kernel::kGemm,
+                          2.0 * static_cast<double>(k) * k * k, 0.0);
+      double ls_res = 0.0;
+      const std::vector<double> y = blas::solve_hessenberg_ls(h, res, &ls_res);
+      if (ls_res <= opts.tol * st.initial_residual || done == mm + 1) {
+        detail::update_solution(machine, v, k, y, xwork);
+        cycle_converged = (ls_res <= opts.tol * st.initial_residual);
+        break;
+      }
+    }
+    ++st.restarts;
+    static_cast<void>(cycle_converged);  // true residual decides at next top
+  }
+  st.final_residual = res;
+
+  st.time_total = machine.clock().elapsed() - t0;
+  const sim::PhaseTimers& ph = machine.phases();
+  st.time_spmv = ph.get("spmv") - phases0.get("spmv");
+  st.time_mpk = ph.get("mpk") - phases0.get("mpk");
+  st.time_orth = ph.get("orth") - phases0.get("orth");
+  st.time_borth = ph.get("borth") - phases0.get("borth");
+  st.time_tsqr = ph.get("tsqr") - phases0.get("tsqr");
+  st.time_other = st.time_total - st.time_spmv - st.time_mpk - st.time_orth -
+                  st.time_borth - st.time_tsqr;
+
+  std::vector<double> x_prepared;
+  x_prepared.reserve(static_cast<std::size_t>(problem.n()));
+  for (int d = 0; d < ng; ++d) {
+    const double* p = xwork.col(d, 0);
+    x_prepared.insert(x_prepared.end(), p, p + xwork.local_rows(d));
+  }
+  result.x = recover_solution(problem, x_prepared);
+  return result;
+}
+
+}  // namespace cagmres::core

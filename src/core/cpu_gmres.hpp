@@ -1,0 +1,18 @@
+// CPU reference GMRES (the threaded-MKL baseline of the paper's Fig. 3).
+//
+// Runs the same restarted Arnoldi-GMRES entirely on the host timeline:
+// CSR SpMV and BLAS-1/2 orthogonalization charged at the PerfModel's
+// cpu_* rates, no device transfers. Numerics are identical to the device
+// solver up to reduction order.
+#pragma once
+
+#include "core/solver_common.hpp"
+#include "sim/machine.hpp"
+
+namespace cagmres::core {
+
+/// Solves the prepared problem with host-only GMRES(opts.m).
+SolveResult cpu_gmres(sim::Machine& machine, const Problem& problem,
+                      const SolverOptions& opts);
+
+}  // namespace cagmres::core

@@ -1,0 +1,213 @@
+#include "core/gmres.hpp"
+
+#include <cmath>
+
+#include "blas/least_squares.hpp"
+#include "common/error.hpp"
+#include "mpk/plan.hpp"
+#include "ortho/reduce.hpp"
+#include "sim/device_blas.hpp"
+
+namespace cagmres::core {
+
+namespace detail {
+
+namespace {
+
+/// Global dot product of two distributed columns (Fig. 9's reduction).
+double dist_dot(sim::Machine& m, const sim::DistMultiVec& v, int ca, int cb) {
+  const int ng = m.n_devices();
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(ng), std::vector<double>(1, 0.0));
+  for (int d = 0; d < ng; ++d) {
+    partial[static_cast<std::size_t>(d)][0] =
+        sim::dev_dot(m, d, v.local_rows(d), v.col(d, ca), v.col(d, cb));
+  }
+  double out = 0.0;
+  ortho::detail::reduce_to_host(m, partial, 1, &out);
+  return out;
+}
+
+}  // namespace
+
+double compute_residual(sim::Machine& m, mpk::MpkExecutor& spmv,
+                        const sim::DistVec& b, sim::DistMultiVec& xwork,
+                        sim::DistMultiVec& v, int rcol, bool first) {
+  const int ng = m.n_devices();
+  if (first) {
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_copy(m, d, v.local_rows(d), b.local(d), v.col(d, rcol));
+    }
+  } else {
+    spmv.spmv(m, xwork, /*xcol=*/0, /*ycol=*/1);
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_copy(m, d, v.local_rows(d), b.local(d), v.col(d, rcol));
+      sim::dev_axpy(m, d, v.local_rows(d), -1.0, xwork.col(d, 1),
+                    v.col(d, rcol));
+    }
+  }
+  const double nrm_sq = dist_dot(m, v, rcol, rcol);
+  return std::sqrt(std::max(nrm_sq, 0.0));
+}
+
+void update_solution(sim::Machine& m, sim::DistMultiVec& v, int k,
+                     const std::vector<double>& y, sim::DistMultiVec& xwork) {
+  CAGMRES_REQUIRE(static_cast<int>(y.size()) >= k, "short LS solution");
+  ortho::detail::broadcast_charge(m, k);
+  for (int d = 0; d < m.n_devices(); ++d) {
+    sim::dev_gemv_n_acc(m, d, v.local_rows(d), k, v.col(d, 0),
+                        v.local(d).ld(), y.data(), xwork.col(d, 0));
+  }
+}
+
+CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
+                           sim::DistMultiVec& v, int mm, ortho::Method orth,
+                           double beta, double abs_tol) {
+  CAGMRES_REQUIRE(orth == ortho::Method::kMgs || orth == ortho::Method::kCgs,
+                  "GMRES Orth must be MGS or CGS");
+  const int ng = m.n_devices();
+  CycleOutcome out;
+  out.h = blas::DMat(mm + 1, mm);
+  blas::GivensLS ls(mm, beta);
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(ng),
+      std::vector<double>(static_cast<std::size_t>(mm) + 1, 0.0));
+  std::vector<double> coeff(static_cast<std::size_t>(mm) + 1, 0.0);
+
+  for (int j = 0; j < mm; ++j) {
+    spmv.spmv(m, v, j, j + 1);
+
+    sim::PhaseScope phase(m, "orth");
+    const int k = j + 1;  // number of previous columns
+    if (orth == ortho::Method::kCgs) {
+      for (int d = 0; d < ng; ++d) {
+        sim::dev_gemv_t(m, d, v.local_rows(d), k, v.col(d, 0),
+                        v.local(d).ld(), v.col(d, k),
+                        partial[static_cast<std::size_t>(d)].data());
+      }
+      ortho::detail::reduce_to_host(m, partial, k, coeff.data());
+      ortho::detail::broadcast_charge(m, k);
+      for (int d = 0; d < ng; ++d) {
+        sim::dev_gemv_n_sub(m, d, v.local_rows(d), k, v.col(d, 0),
+                            v.local(d).ld(), coeff.data(), v.col(d, k));
+      }
+      for (int i = 0; i < k; ++i) {
+        out.h(i, j) = coeff[static_cast<std::size_t>(i)];
+      }
+    } else {  // MGS: one reduction per previous column
+      for (int l = 0; l < k; ++l) {
+        for (int d = 0; d < ng; ++d) {
+          partial[static_cast<std::size_t>(d)][0] = sim::dev_dot(
+              m, d, v.local_rows(d), v.col(d, l), v.col(d, k));
+        }
+        double r = 0.0;
+        ortho::detail::reduce_to_host(m, partial, 1, &r);
+        out.h(l, j) = r;
+        ortho::detail::broadcast_charge(m, 1);
+        for (int d = 0; d < ng; ++d) {
+          sim::dev_axpy(m, d, v.local_rows(d), -r, v.col(d, l), v.col(d, k));
+        }
+      }
+    }
+    // Normalize the new vector.
+    for (int d = 0; d < ng; ++d) {
+      partial[static_cast<std::size_t>(d)][0] =
+          sim::dev_dot(m, d, v.local_rows(d), v.col(d, k), v.col(d, k));
+    }
+    double nrm_sq = 0.0;
+    ortho::detail::reduce_to_host(m, partial, 1, &nrm_sq);
+    const double nrm = std::sqrt(std::max(nrm_sq, 0.0));
+    out.h(k, j) = nrm;
+    if (nrm <= 1e-300) {  // happy breakdown: subspace is invariant
+      out.k = j + 1;
+      // Column j of H is complete with h(k, j) = 0; append and stop.
+      std::vector<double> col(static_cast<std::size_t>(k) + 1);
+      for (int i = 0; i <= k; ++i) col[static_cast<std::size_t>(i)] = out.h(i, j);
+      out.ls_residual = ls.append_column(col.data());
+      break;
+    }
+    ortho::detail::broadcast_charge(m, 1);
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_scal(m, d, v.local_rows(d), 1.0 / nrm, v.col(d, k));
+    }
+
+    std::vector<double> col(static_cast<std::size_t>(k) + 1);
+    for (int i = 0; i <= k; ++i) col[static_cast<std::size_t>(i)] = out.h(i, j);
+    out.ls_residual = ls.append_column(col.data());
+    out.k = j + 1;
+    if (out.ls_residual <= abs_tol) break;
+  }
+  m.charge_host(sim::Kernel::kSmall,
+                3.0 * static_cast<double>(out.k) * out.k, 0.0);
+  out.y = ls.solve();
+  return out;
+}
+
+}  // namespace detail
+
+SolveResult gmres(sim::Machine& machine, const Problem& problem,
+                  const SolverOptions& opts) {
+  CAGMRES_REQUIRE(problem.n_devices() == machine.n_devices(),
+                  "problem/machine device count mismatch");
+  CAGMRES_REQUIRE(opts.m >= 1, "restart length must be positive");
+  const int ng = machine.n_devices();
+  const std::vector<int> rows = problem.rows_per_device();
+
+  const mpk::MpkPlan plan = mpk::build_mpk_plan(problem.a, problem.offsets, 1);
+  mpk::MpkExecutor spmv(plan);
+
+  sim::DistMultiVec v(rows, opts.m + 1);
+  sim::DistMultiVec xwork(rows, 2);
+  sim::DistVec b(rows);
+  b.assign_from_host(problem.b);
+
+  SolveResult result;
+  SolveStats& st = result.stats;
+  const double t0 = machine.clock().elapsed();
+  const sim::PhaseTimers phases0 = machine.phases();
+
+  double res = 0.0;
+  for (int restart = 0; restart < opts.max_restarts; ++restart) {
+    res = detail::compute_residual(machine, spmv, b, xwork, v, 0,
+                                   restart == 0);
+    if (restart == 0) {
+      st.initial_residual = res;
+      if (res == 0.0) {  // b == 0: x = 0 is exact
+        st.converged = true;
+        break;
+      }
+    }
+    st.residual_history.push_back(res);
+    if (res <= opts.tol * st.initial_residual) {
+      st.converged = true;
+      break;
+    }
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
+    }
+    detail::CycleOutcome cycle = detail::arnoldi_cycle(
+        machine, spmv, v, opts.m, opts.gmres_orth, res,
+        opts.tol * st.initial_residual);
+    detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
+    st.iterations += cycle.k;
+    ++st.restarts;
+  }
+  st.final_residual = res;
+
+  st.time_total = machine.clock().elapsed() - t0;
+  const sim::PhaseTimers& ph = machine.phases();
+  st.time_spmv = ph.get("spmv") - phases0.get("spmv");
+  st.time_orth = ph.get("orth") - phases0.get("orth");
+  st.time_other = st.time_total - st.time_spmv - st.time_orth;
+
+  std::vector<double> x_prepared;
+  x_prepared.reserve(static_cast<std::size_t>(problem.n()));
+  for (int d = 0; d < ng; ++d) {
+    const double* p = xwork.col(d, 0);
+    x_prepared.insert(x_prepared.end(), p, p + xwork.local_rows(d));
+  }
+  result.x = recover_solution(problem, x_prepared);
+  return result;
+}
+
+}  // namespace cagmres::core

@@ -1,0 +1,51 @@
+// Standard restarted GMRES(m) on the simulated multi-GPU machine
+// (paper §III, Fig. 1).
+//
+// Arnoldi with MGS or CGS orthogonalization per iteration, Givens
+// least-squares monitoring, restart after m iterations, convergence at a
+// `tol` relative residual reduction. All SpMV and Orth costs are charged to
+// the machine, phase-labelled "spmv" and "orth".
+#pragma once
+
+#include "core/solver_common.hpp"
+#include "mpk/exec.hpp"
+#include "sim/machine.hpp"
+
+namespace cagmres::core {
+
+/// Solves the prepared problem with GMRES(opts.m); returns the solution in
+/// the caller's original ordering/scaling plus telemetry.
+SolveResult gmres(sim::Machine& machine, const Problem& problem,
+                  const SolverOptions& opts);
+
+namespace detail {
+
+/// One Arnoldi restart cycle (shared with CA-GMRES's shift-harvesting first
+/// restart): V(:,0) must hold the unit starting vector; generates up to m
+/// more columns, orthogonalizing each with `orth`. Stops early when the
+/// least-squares residual drops to `abs_tol` or on happy breakdown.
+struct CycleOutcome {
+  int k = 0;                ///< basis columns generated (H has k columns)
+  blas::DMat h;             ///< (m+1) x m raw Hessenberg (cols 0..k-1 valid)
+  std::vector<double> y;    ///< LS solution for the k columns
+  double ls_residual = 0.0; ///< final least-squares residual estimate
+};
+
+CycleOutcome arnoldi_cycle(sim::Machine& machine, mpk::MpkExecutor& spmv,
+                           sim::DistMultiVec& v, int m, ortho::Method orth,
+                           double beta, double abs_tol);
+
+/// r := b - A x into column rcol of v, where x lives in column xcol of
+/// `xwork` (a 2-column scratch multivector) — or r := b when first is true.
+/// Returns ||r|| (reduced on the host).
+double compute_residual(sim::Machine& machine, mpk::MpkExecutor& spmv,
+                        const sim::DistVec& b, sim::DistMultiVec& xwork,
+                        sim::DistMultiVec& v, int rcol, bool first);
+
+/// x (column 0 of xwork) += V(:, 0:k) * y, broadcasting y to the devices.
+void update_solution(sim::Machine& machine, sim::DistMultiVec& v, int k,
+                     const std::vector<double>& y, sim::DistMultiVec& xwork);
+
+}  // namespace detail
+
+}  // namespace cagmres::core

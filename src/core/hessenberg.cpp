@@ -1,0 +1,100 @@
+#include "core/hessenberg.hpp"
+
+#include "blas/blas3.hpp"
+#include "common/error.hpp"
+
+namespace cagmres::core {
+
+blas::DMat build_change_of_basis(const Shifts& col_shifts) {
+  const int m = col_shifts.size();
+  CAGMRES_REQUIRE(m >= 1, "empty shift record");
+  blas::DMat b(m + 1, m);
+  for (int j = 0; j < m; ++j) {
+    b(j, j) = col_shifts.re[static_cast<std::size_t>(j)];
+    b(j + 1, j) = 1.0;
+    // Second member of a conjugate pair: the MPK recursion added
+    // +beta^2 * g_{j-1}, i.e. A g_j = g_{j+1} + alpha g_j - beta^2 g_{j-1}.
+    if (col_shifts.im[static_cast<std::size_t>(j)] < 0.0) {
+      CAGMRES_REQUIRE(j >= 1, "pair second member at column 0");
+      const double beta = col_shifts.im[static_cast<std::size_t>(j) - 1];
+      b(j - 1, j) = -beta * beta;
+    }
+  }
+  return b;
+}
+
+blas::DMat hessenberg_from_basis(const blas::DMat& r, const blas::DMat& b) {
+  const int m = b.cols();
+  CAGMRES_REQUIRE(r.rows() == m + 1 && r.cols() == m + 1,
+                  "R must be (m+1) x (m+1)");
+  CAGMRES_REQUIRE(b.rows() == m + 1, "B must be (m+1) x m");
+
+  // X := B * R(1:m,1:m)^{-1} via a right triangular solve on B's columns.
+  blas::DMat x = b;
+  // Build the leading m x m block of R contiguously for the solve.
+  blas::DMat r_mm(m, m);
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i <= j; ++i) r_mm(i, j) = r(i, j);
+  }
+  blas::trsm_right_upper(m + 1, m, r_mm.data(), r_mm.ld(), x.data(), x.ld());
+
+  // H := R * X.
+  blas::DMat h(m + 1, m);
+  blas::gemm(blas::Trans::N, blas::Trans::N, m + 1, m, m + 1, 1.0, r.data(),
+             r.ld(), x.data(), x.ld(), 0.0, h.data(), h.ld());
+
+  // Exact zeros below the first subdiagonal; remove roundoff noise.
+  for (int j = 0; j < m; ++j) {
+    for (int i = j + 2; i <= m; ++i) h(i, j) = 0.0;
+  }
+  return h;
+}
+
+blas::DMat hessenberg_blocked(const blas::DMat& r_hat,
+                              const std::vector<char>& is_block_start,
+                              const Shifts& col_shifts) {
+  const int m = col_shifts.size();
+  CAGMRES_REQUIRE(r_hat.rows() == m + 1 && r_hat.cols() == m + 1,
+                  "r_hat must be (m+1) x (m+1)");
+  CAGMRES_REQUIRE(static_cast<int>(is_block_start.size()) >= m,
+                  "is_block_start too short");
+
+  // R-tilde: the coefficients of the vectors the recursion actually
+  // multiplied (q_j at block starts, g_j elsewhere).
+  blas::DMat rt = r_hat;
+  for (int j = 0; j < m; ++j) {
+    if (is_block_start[static_cast<std::size_t>(j)]) {
+      for (int i = 0; i <= m; ++i) rt(i, j) = (i == j) ? 1.0 : 0.0;
+    }
+  }
+
+  // M(:,j) = r_hat(:,j+1) + theta_j Rt(:,j) - [pair] beta^2 Rt(:,j-1).
+  blas::DMat mmat(m + 1, m);
+  for (int j = 0; j < m; ++j) {
+    const double theta = col_shifts.re[static_cast<std::size_t>(j)];
+    const bool pair_second = col_shifts.im[static_cast<std::size_t>(j)] < 0.0;
+    for (int i = 0; i <= m; ++i) {
+      double v = r_hat(i, j + 1) + theta * rt(i, j);
+      if (pair_second) {
+        CAGMRES_ASSERT(j >= 1, "pair second member at column 0");
+        const double beta = col_shifts.im[static_cast<std::size_t>(j) - 1];
+        v -= beta * beta * rt(i, j - 1);
+      }
+      mmat(i, j) = v;
+    }
+  }
+
+  // H = M * Rt(1:m,1:m)^{-1}.
+  blas::DMat rt_mm(m, m);
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i <= j; ++i) rt_mm(i, j) = rt(i, j);
+  }
+  blas::trsm_right_upper(m + 1, m, rt_mm.data(), rt_mm.ld(), mmat.data(),
+                         mmat.ld());
+  for (int j = 0; j < m; ++j) {
+    for (int i = j + 2; i <= m; ++i) mmat(i, j) = 0.0;
+  }
+  return mmat;
+}
+
+}  // namespace cagmres::core

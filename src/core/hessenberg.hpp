@@ -1,0 +1,41 @@
+// Hessenberg matrix recovery for CA-GMRES (DESIGN.md §5).
+//
+// The generated basis G = [g_1 .. g_{m+1}] satisfies A G(:,1:m) = G B with B
+// the (m+1) x m change-of-basis matrix (Newton shifts on the diagonal, ones
+// on the subdiagonal, and a -beta^2 superdiagonal entry per complex pair).
+// BOrth+TSQR bookkeeping gives G = Q R with R upper triangular, hence
+//   A Q(:,1:m) = Q * H,  H = R B R(1:m,1:m)^{-1},
+// which is upper Hessenberg and feeds the usual GMRES least-squares update.
+#pragma once
+
+#include "blas/matrix.hpp"
+#include "core/shifts.hpp"
+
+namespace cagmres::core {
+
+/// Builds the (m+1) x m change-of-basis matrix B from the per-column shift
+/// record: col_shifts holds the shift used to generate column j+1 from
+/// column j, for j = 0..m-1 (all zeros = monomial basis).
+blas::DMat build_change_of_basis(const Shifts& col_shifts);
+
+/// Computes H = R B R(1:m,1:m)^{-1} for the (m+1) x (m+1) triangular factor
+/// R and (m+1) x m change-of-basis B. Entries below the first subdiagonal
+/// (exact zeros in exact arithmetic) are cleaned to zero.
+/// Valid when the whole basis was generated as ONE chain (a single block).
+blas::DMat hessenberg_from_basis(const blas::DMat& r, const blas::DMat& b);
+
+/// Blocked CA-GMRES Hessenberg recovery. Each block's recursion restarts
+/// from the ORTHONORMALIZED vector q_j, not the generated g_j, so the
+/// plain R B R^{-1} identity breaks at block boundaries. Let r_hat hold the
+/// coefficients of every generated vector (column j = g_j in the Q basis,
+/// upper triangular, g_0 = q_0 = e_0), and let R-tilde be r_hat with column
+/// j replaced by e_j wherever is_block_start[j] (the recursion input was
+/// q_j there). Then A Q(:,1:m) = Q M R-tilde(1:m,1:m)^{-1} with
+///   M(:,j) = r_hat(:,j+1) + theta_j Rt(:,j) - [pair] beta^2 Rt(:,j-1),
+/// which this function assembles and returns as the (m+1) x m H.
+/// is_block_start must have m+1 entries (entry m is ignored).
+blas::DMat hessenberg_blocked(const blas::DMat& r_hat,
+                              const std::vector<char>& is_block_start,
+                              const Shifts& col_shifts);
+
+}  // namespace cagmres::core

@@ -1,0 +1,181 @@
+#include "core/pipelined.hpp"
+
+#include <cmath>
+
+#include "blas/least_squares.hpp"
+#include "common/error.hpp"
+#include "core/gmres.hpp"
+#include "mpk/exec.hpp"
+#include "mpk/plan.hpp"
+#include "ortho/reduce.hpp"
+#include "sim/device_blas.hpp"
+
+namespace cagmres::core {
+
+SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
+                            const SolverOptions& opts) {
+  CAGMRES_REQUIRE(problem.n_devices() == machine.n_devices(),
+                  "problem/machine device count mismatch");
+  CAGMRES_REQUIRE(opts.m >= 1, "restart length must be positive");
+  const int ng = machine.n_devices();
+  const int mm = opts.m;
+  const std::vector<int> rows = problem.rows_per_device();
+
+  const mpk::MpkPlan plan = mpk::build_mpk_plan(problem.a, problem.offsets, 1);
+  mpk::MpkExecutor spmv(plan);
+
+  sim::DistMultiVec v(rows, mm + 1);
+  sim::DistMultiVec z(rows, mm + 1);  // Z = A * V, the pipelining basis
+  sim::DistMultiVec xwork(rows, 2);
+  sim::DistVec b(rows);
+  b.assign_from_host(problem.b);
+
+  SolveResult result;
+  SolveStats& st = result.stats;
+  const double t0 = machine.clock().elapsed();
+  const sim::PhaseTimers phases0 = machine.phases();
+
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(ng),
+      std::vector<double>(static_cast<std::size_t>(mm) + 2, 0.0));
+  std::vector<double> coeff(static_cast<std::size_t>(mm) + 2, 0.0);
+
+  double res = 0.0;
+  for (int restart = 0; restart < opts.max_restarts; ++restart) {
+    res = detail::compute_residual(machine, spmv, b, xwork, v, 0,
+                                   restart == 0);
+    if (restart == 0) {
+      st.initial_residual = res;
+      if (res == 0.0) {
+        st.converged = true;
+        break;
+      }
+    }
+    st.residual_history.push_back(res);
+    if (res <= opts.tol * st.initial_residual) {
+      st.converged = true;
+      break;
+    }
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
+    }
+    // Prime the pipeline: z_0 = A v_0.
+    spmv.spmv(machine, v, 0, z, 0);
+
+    blas::GivensLS ls(mm, res);
+    int k = 0;
+    for (int j = 0; j < mm; ++j) {
+      sim::PhaseScope phase(machine, "orth");
+      const int prev = j + 1;  // columns v_0..v_j are orthonormal
+
+      // (1) Post the fused reduction for z_j: projections V^T z_j plus
+      //     ||z_j||^2, one D2H message per device.
+      for (int d = 0; d < ng; ++d) {
+        auto& p = partial[static_cast<std::size_t>(d)];
+        sim::dev_gemv_t(machine, d, v.local_rows(d), prev, v.col(d, 0),
+                        v.local(d).ld(), z.col(d, j), p.data());
+        p[static_cast<std::size_t>(prev)] = sim::dev_dot(
+            machine, d, v.local_rows(d), z.col(d, j), z.col(d, j));
+        machine.d2h(d, 8.0 * (prev + 1));
+      }
+      // Reduction arrival time, recorded BEFORE the lookahead SpMV is
+      // queued behind it.
+      double t_red = machine.clock().host_time();
+      for (int d = 0; d < ng; ++d) {
+        t_red = std::max(t_red, machine.clock().device_time(d));
+      }
+
+      // (2) Lookahead product w = A z_j, overlapping the reduction wait.
+      if (j + 1 <= mm) spmv.spmv(machine, z, j, z, j + 1);
+
+      // (3) The host waits only for the reduction messages, not the SpMV.
+      {
+        sim::PhaseScope phase2(machine, "orth");
+        machine.clock().host_wait_time(t_red);
+        machine.charge_host(sim::Kernel::kAxpy,
+                            static_cast<double>(prev + 1) * ng,
+                            16.0 * (prev + 1) * ng);
+      }
+      for (int i = 0; i <= prev; ++i) {
+        coeff[static_cast<std::size_t>(i)] = 0.0;
+        for (int d = 0; d < ng; ++d) {
+          coeff[static_cast<std::size_t>(i)] +=
+              partial[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
+        }
+      }
+      const double n2 = coeff[static_cast<std::size_t>(prev)];
+      double proj2 = 0.0;
+      for (int i = 0; i < prev; ++i) {
+        proj2 += coeff[static_cast<std::size_t>(i)] * coeff[static_cast<std::size_t>(i)];
+      }
+      double nu2 = n2 - proj2;
+
+      // (4) Broadcast coefficients and update BOTH bases by linearity:
+      //     v_{j+1} = (z_j - V a)/nu,  z_{j+1} = (w - Z a)/nu.
+      ortho::detail::broadcast_charge(machine, prev + 1);
+      for (int d = 0; d < ng; ++d) {
+        sim::dev_copy(machine, d, v.local_rows(d), z.col(d, j),
+                      v.col(d, prev));
+        sim::dev_gemv_n_sub(machine, d, v.local_rows(d), prev, v.col(d, 0),
+                            v.local(d).ld(), coeff.data(), v.col(d, prev));
+        sim::dev_gemv_n_sub(machine, d, v.local_rows(d), prev, z.col(d, 0),
+                            z.local(d).ld(), coeff.data(), z.col(d, prev));
+      }
+      double nu;
+      if (nu2 > 1e-8 * n2 && nu2 > 0.0) {
+        nu = std::sqrt(nu2);
+      } else {
+        // Cancellation: recompute ||v_{j+1}|| explicitly (extra reduction;
+        // the pipelined recurrence inherits CGS-grade stability).
+        for (int d = 0; d < ng; ++d) {
+          partial[static_cast<std::size_t>(d)][0] =
+              sim::dev_dot(machine, d, v.local_rows(d), v.col(d, prev),
+                           v.col(d, prev));
+        }
+        double explicit_n2 = 0.0;
+        ortho::detail::reduce_to_host(machine, partial, 1, &explicit_n2);
+        ortho::detail::broadcast_charge(machine, 1);
+        nu = std::sqrt(std::max(explicit_n2, 0.0));
+      }
+      if (nu <= 1e-300) {  // happy breakdown: the space is invariant
+        k = j;
+        break;
+      }
+      for (int d = 0; d < ng; ++d) {
+        sim::dev_scal(machine, d, v.local_rows(d), 1.0 / nu, v.col(d, prev));
+        sim::dev_scal(machine, d, v.local_rows(d), 1.0 / nu, z.col(d, prev));
+      }
+
+      // (5) Least squares bookkeeping (H column = [a; nu]).
+      coeff[static_cast<std::size_t>(prev)] = nu;
+      const double ls_res = ls.append_column(coeff.data());
+      k = j + 1;
+      st.iterations += 1;
+      if (ls_res <= opts.tol * st.initial_residual) break;
+    }
+    machine.charge_host(sim::Kernel::kSmall, 3.0 * static_cast<double>(k) * k,
+                        0.0);
+    if (k > 0) {
+      detail::update_solution(machine, v, k, ls.solve(), xwork);
+    }
+    ++st.restarts;
+  }
+  st.final_residual = res;
+
+  st.time_total = machine.clock().elapsed() - t0;
+  const sim::PhaseTimers& ph = machine.phases();
+  st.time_spmv = ph.get("spmv") - phases0.get("spmv");
+  st.time_orth = ph.get("orth") - phases0.get("orth");
+  st.time_other = st.time_total - st.time_spmv - st.time_orth;
+
+  std::vector<double> x_prepared;
+  x_prepared.reserve(static_cast<std::size_t>(problem.n()));
+  for (int d = 0; d < ng; ++d) {
+    const double* p = xwork.col(d, 0);
+    x_prepared.insert(x_prepared.end(), p, p + xwork.local_rows(d));
+  }
+  result.x = recover_solution(problem, x_prepared);
+  return result;
+}
+
+}  // namespace cagmres::core

@@ -1,0 +1,144 @@
+#include "core/shifts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cagmres::core {
+
+namespace {
+
+/// Canonicalizes eigenvalues: keeps one representative (im >= 0) per
+/// conjugate pair, tagging whether it had a conjugate partner.
+struct Candidate {
+  std::complex<double> value;
+  bool is_pair;
+};
+
+std::vector<Candidate> canonicalize(
+    const std::vector<std::complex<double>>& values) {
+  std::vector<Candidate> out;
+  std::vector<char> used(values.size(), 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (used[i]) continue;
+    const auto v = values[i];
+    if (std::abs(v.imag()) < 1e-14 * (1.0 + std::abs(v.real()))) {
+      out.push_back({{v.real(), 0.0}, false});
+      continue;
+    }
+    // Find the conjugate partner.
+    bool paired = false;
+    for (std::size_t j = i + 1; j < values.size(); ++j) {
+      if (used[j]) continue;
+      const auto w = values[j];
+      if (std::abs(w.real() - v.real()) <=
+              1e-10 * (1.0 + std::abs(v.real())) &&
+          std::abs(w.imag() + v.imag()) <=
+              1e-10 * (1.0 + std::abs(v.imag()))) {
+        used[j] = 1;
+        paired = true;
+        break;
+      }
+    }
+    out.push_back({{v.real(), std::abs(v.imag())}, paired});
+    if (!paired) {
+      // Unpaired complex value (shouldn't happen for real matrices);
+      // demote to its real part so the Newton recursion stays real.
+      out.back().value = {v.real(), 0.0};
+      out.back().is_pair = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Shifts leja_order(const std::vector<std::complex<double>>& values) {
+  Shifts out;
+  std::vector<Candidate> cand = canonicalize(values);
+  if (cand.empty()) return out;
+
+  std::vector<char> used(cand.size(), 0);
+  // First: largest magnitude.
+  std::size_t first = 0;
+  for (std::size_t i = 1; i < cand.size(); ++i) {
+    if (std::abs(cand[i].value) > std::abs(cand[first].value)) first = i;
+  }
+  auto emit = [&](std::size_t i) {
+    const auto v = cand[i].value;
+    out.re.push_back(v.real());
+    out.im.push_back(v.imag());
+    if (cand[i].is_pair && v.imag() != 0.0) {
+      out.re.push_back(v.real());
+      out.im.push_back(-v.imag());
+    }
+    used[i] = 1;
+  };
+  emit(first);
+
+  while (true) {
+    double best_score = -1.0;
+    std::size_t best = cand.size();
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (used[i]) continue;
+      // log product of distances to the already chosen shifts (both pair
+      // members contribute).
+      double score = 0.0;
+      for (std::size_t k = 0; k < out.re.size(); ++k) {
+        const std::complex<double> chosen(out.re[k], out.im[k]);
+        score += std::log(std::abs(cand[i].value - chosen) + 1e-300);
+      }
+      if (best == cand.size() || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    if (best == cand.size()) break;
+    emit(best);
+  }
+  return out;
+}
+
+Shifts newton_shifts(const std::vector<std::complex<double>>& ritz, int s) {
+  CAGMRES_REQUIRE(s >= 1, "need at least one shift");
+  Shifts all = leja_order(ritz);
+  if (all.empty()) return all;
+  // Cycle the Leja sequence if fewer Ritz values than s were available.
+  Shifts out;
+  out.re.reserve(static_cast<std::size_t>(s));
+  out.im.reserve(static_cast<std::size_t>(s));
+  for (int k = 0; k < s; ++k) {
+    const std::size_t src = static_cast<std::size_t>(k) % all.re.size();
+    out.re.push_back(all.re[src]);
+    out.im.push_back(all.im[src]);
+  }
+  // A pair straddling either the cutoff or the wrap point degenerates to a
+  // real shift.
+  for (int k = 0; k < s; ++k) {
+    if (out.im[static_cast<std::size_t>(k)] > 0.0 &&
+        (k + 1 >= s || out.im[static_cast<std::size_t>(k) + 1] >= 0.0)) {
+      out.im[static_cast<std::size_t>(k)] = 0.0;
+    }
+    if (out.im[static_cast<std::size_t>(k)] < 0.0 &&
+        (k == 0 || out.im[static_cast<std::size_t>(k) - 1] <= 0.0)) {
+      out.im[static_cast<std::size_t>(k)] = 0.0;
+    }
+  }
+  return out;
+}
+
+Shifts block_shifts(const Shifts& shifts, int steps) {
+  CAGMRES_REQUIRE(steps >= 1, "need at least one step");
+  CAGMRES_REQUIRE(shifts.size() >= steps, "not enough shifts for the block");
+  Shifts out;
+  out.re.assign(shifts.re.begin(), shifts.re.begin() + steps);
+  out.im.assign(shifts.im.begin(), shifts.im.begin() + steps);
+  // Demote a pair whose first member is the last step of the block.
+  if (steps >= 1 && out.im[static_cast<std::size_t>(steps) - 1] > 0.0) {
+    out.im[static_cast<std::size_t>(steps) - 1] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace cagmres::core

@@ -1,0 +1,79 @@
+#include "core/solver_common.hpp"
+
+#include <cmath>
+
+#include "blas/blas1.hpp"
+#include "common/error.hpp"
+
+namespace cagmres::core {
+
+Basis parse_basis(const std::string& name) {
+  if (name == "monomial") return Basis::kMonomial;
+  if (name == "newton") return Basis::kNewton;
+  throw Error("unknown basis: " + name + " (expected monomial|newton)");
+}
+
+std::string to_string(Basis b) {
+  return b == Basis::kMonomial ? "monomial" : "newton";
+}
+
+std::vector<int> Problem::rows_per_device() const {
+  std::vector<int> rows;
+  rows.reserve(offsets.size() - 1);
+  for (std::size_t d = 0; d + 1 < offsets.size(); ++d) {
+    rows.push_back(offsets[d + 1] - offsets[d]);
+  }
+  return rows;
+}
+
+Problem make_problem(const sparse::CsrMatrix& a, const std::vector<double>& b,
+                     int n_devices, graph::Ordering ordering, bool balance,
+                     std::uint64_t seed) {
+  CAGMRES_REQUIRE(a.n_rows == a.n_cols, "need a square system");
+  CAGMRES_REQUIRE(static_cast<int>(b.size()) == a.n_rows, "rhs size mismatch");
+  Problem p;
+  const graph::Partition part =
+      graph::make_partition(a, n_devices, ordering, seed);
+  p.perm = part.perm;
+  p.offsets = part.offsets;
+  p.a = sparse::permute_symmetric(a, p.perm);
+  p.b.resize(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    p.b[i] = b[static_cast<std::size_t>(p.perm[i])];
+  }
+  p.balanced = balance;
+  if (balance) {
+    p.scaling = sparse::balance(p.a);
+    sparse::scale_rhs(p.scaling, p.b);
+  } else {
+    p.scaling.row.assign(b.size(), 1.0);
+    p.scaling.col.assign(b.size(), 1.0);
+  }
+  p.b_norm = blas::nrm2(static_cast<int>(p.b.size()), p.b.data());
+  return p;
+}
+
+std::vector<double> recover_solution(const Problem& p,
+                                     const std::vector<double>& x_prepared) {
+  CAGMRES_REQUIRE(x_prepared.size() == p.perm.size(), "solution size mismatch");
+  std::vector<double> x(x_prepared.size());
+  for (std::size_t i = 0; i < x_prepared.size(); ++i) {
+    x[static_cast<std::size_t>(p.perm[i])] = p.scaling.col[i] * x_prepared[i];
+  }
+  return x;
+}
+
+double true_residual(const sparse::CsrMatrix& a_orig,
+                     const std::vector<double>& b_orig,
+                     const std::vector<double>& x_orig) {
+  std::vector<double> ax(b_orig.size(), 0.0);
+  sparse::spmv(a_orig, x_orig.data(), ax.data());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b_orig.size(); ++i) {
+    const double r = b_orig[i] - ax[i];
+    acc += r * r;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace cagmres::core

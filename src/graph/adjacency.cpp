@@ -1,0 +1,46 @@
+#include "graph/adjacency.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cagmres::graph {
+
+Adjacency build_adjacency(const sparse::CsrMatrix& a) {
+  CAGMRES_REQUIRE(a.n_rows == a.n_cols, "adjacency needs a square matrix");
+  const int n = a.n_rows;
+  // Count undirected edges by bucketing (i,j) and (j,i) for every stored
+  // off-diagonal entry, then dedupe per-vertex.
+  std::vector<std::vector<int>> nbr(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const auto hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    for (auto k = lo; k < hi; ++k) {
+      const int j = a.col_idx[static_cast<std::size_t>(k)];
+      if (j == i) continue;
+      nbr[static_cast<std::size_t>(i)].push_back(j);
+      nbr[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+  Adjacency g;
+  g.n = n;
+  g.xadj.resize(static_cast<std::size_t>(n) + 1);
+  g.xadj[0] = 0;
+  for (int v = 0; v < n; ++v) {
+    auto& list = nbr[static_cast<std::size_t>(v)];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    g.xadj[static_cast<std::size_t>(v) + 1] =
+        g.xadj[static_cast<std::size_t>(v)] +
+        static_cast<std::int64_t>(list.size());
+  }
+  g.adj.resize(static_cast<std::size_t>(g.xadj[static_cast<std::size_t>(n)]));
+  for (int v = 0; v < n; ++v) {
+    std::copy(nbr[static_cast<std::size_t>(v)].begin(),
+              nbr[static_cast<std::size_t>(v)].end(),
+              g.adj.begin() + g.xadj[static_cast<std::size_t>(v)]);
+  }
+  return g;
+}
+
+}  // namespace cagmres::graph

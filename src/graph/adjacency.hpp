@@ -1,0 +1,37 @@
+// Undirected adjacency structure of a sparse matrix pattern.
+//
+// Reordering (RCM) and partitioning (KWY) both operate on the symmetrized
+// pattern of A (the adjacency graph of A + A^T, no self loops), matching how
+// HSL MC60 and METIS consume matrices in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::graph {
+
+/// Symmetric adjacency graph in CSR-of-pattern form.
+struct Adjacency {
+  int n = 0;
+  std::vector<std::int64_t> xadj;  ///< size n + 1
+  std::vector<int> adj;            ///< neighbor lists, no self loops
+
+  int degree(int v) const {
+    return static_cast<int>(xadj[static_cast<std::size_t>(v) + 1] -
+                            xadj[static_cast<std::size_t>(v)]);
+  }
+  /// Neighbors of v as a (begin, end) pointer pair.
+  const int* begin(int v) const {
+    return adj.data() + xadj[static_cast<std::size_t>(v)];
+  }
+  const int* end(int v) const {
+    return adj.data() + xadj[static_cast<std::size_t>(v) + 1];
+  }
+};
+
+/// Builds the adjacency graph of A + A^T (square A), dropping self loops.
+Adjacency build_adjacency(const sparse::CsrMatrix& a);
+
+}  // namespace cagmres::graph

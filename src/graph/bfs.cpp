@@ -1,0 +1,68 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cagmres::graph {
+
+LevelStructure bfs_levels(const Adjacency& g, const std::vector<int>& seeds) {
+  LevelStructure ls;
+  ls.level.assign(static_cast<std::size_t>(g.n), -1);
+  std::vector<int> frontier;
+  for (const int s : seeds) {
+    CAGMRES_REQUIRE(0 <= s && s < g.n, "seed out of range");
+    if (ls.level[static_cast<std::size_t>(s)] < 0) {
+      ls.level[static_cast<std::size_t>(s)] = 0;
+      frontier.push_back(s);
+      ++ls.reached;
+    }
+  }
+  std::vector<int> next;
+  int depth = 0;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const int v : frontier) {
+      for (const int* p = g.begin(v); p != g.end(v); ++p) {
+        if (ls.level[static_cast<std::size_t>(*p)] < 0) {
+          ls.level[static_cast<std::size_t>(*p)] = depth + 1;
+          next.push_back(*p);
+          ++ls.reached;
+        }
+      }
+    }
+    if (!next.empty()) ++depth;
+    frontier.swap(next);
+  }
+  ls.height = depth;
+  return ls;
+}
+
+LevelStructure bfs_levels(const Adjacency& g, int seed) {
+  return bfs_levels(g, std::vector<int>{seed});
+}
+
+int pseudo_peripheral_vertex(const Adjacency& g, int start) {
+  CAGMRES_REQUIRE(0 <= start && start < g.n, "start out of range");
+  int v = start;
+  LevelStructure ls = bfs_levels(g, v);
+  while (true) {
+    // Minimum-degree vertex in the deepest level.
+    int best = -1;
+    int best_deg = g.n + 1;
+    for (int u = 0; u < g.n; ++u) {
+      if (ls.level[static_cast<std::size_t>(u)] == ls.height &&
+          g.degree(u) < best_deg) {
+        best = u;
+        best_deg = g.degree(u);
+      }
+    }
+    if (best < 0) return v;
+    LevelStructure ls2 = bfs_levels(g, best);
+    if (ls2.height <= ls.height) return best;
+    v = best;
+    ls = std::move(ls2);
+  }
+}
+
+}  // namespace cagmres::graph

@@ -1,0 +1,29 @@
+// Breadth-first search utilities: level structures and peripheral vertices.
+#pragma once
+
+#include <vector>
+
+#include "graph/adjacency.hpp"
+
+namespace cagmres::graph {
+
+/// Level structure rooted at a seed set: level[v] = BFS distance from the
+/// seeds, or -1 if unreachable. `height` is the largest level reached.
+struct LevelStructure {
+  std::vector<int> level;
+  int height = 0;
+  int reached = 0;  ///< number of reachable vertices (including seeds)
+};
+
+/// BFS from multiple seeds (all at level 0).
+LevelStructure bfs_levels(const Adjacency& g, const std::vector<int>& seeds);
+
+/// BFS from a single seed.
+LevelStructure bfs_levels(const Adjacency& g, int seed);
+
+/// George-Liu pseudo-peripheral vertex heuristic starting from `start`:
+/// repeatedly jump to a minimum-degree vertex in the last BFS level until
+/// the eccentricity stops growing. Used to pick good RCM roots.
+int pseudo_peripheral_vertex(const Adjacency& g, int start);
+
+}  // namespace cagmres::graph

@@ -1,0 +1,40 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cagmres::graph {
+
+std::int64_t edge_cut(const Adjacency& g, const std::vector<int>& part) {
+  CAGMRES_REQUIRE(static_cast<int>(part.size()) == g.n, "part size mismatch");
+  std::int64_t cut = 0;
+  for (int v = 0; v < g.n; ++v) {
+    for (const int* q = g.begin(v); q != g.end(v); ++q) {
+      if (*q > v && part[static_cast<std::size_t>(v)] !=
+                        part[static_cast<std::size_t>(*q)]) {
+        ++cut;
+      }
+    }
+  }
+  return cut;
+}
+
+double imbalance(const std::vector<int>& part, int n_parts) {
+  const std::vector<int> sizes = part_sizes(part, n_parts);
+  const int max_size = *std::max_element(sizes.begin(), sizes.end());
+  const double ideal =
+      static_cast<double>(part.size()) / static_cast<double>(n_parts);
+  return (ideal > 0.0) ? static_cast<double>(max_size) / ideal : 1.0;
+}
+
+std::vector<int> part_sizes(const std::vector<int>& part, int n_parts) {
+  std::vector<int> sizes(static_cast<std::size_t>(n_parts), 0);
+  for (const int p : part) {
+    CAGMRES_REQUIRE(0 <= p && p < n_parts, "part id out of range");
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  return sizes;
+}
+
+}  // namespace cagmres::graph

@@ -1,0 +1,20 @@
+// Partition quality metrics (edge cut, balance) for the experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+
+namespace cagmres::graph {
+
+/// Number of graph edges whose endpoints land in different parts.
+std::int64_t edge_cut(const Adjacency& g, const std::vector<int>& part);
+
+/// Load imbalance: max part size / ideal part size (1.0 = perfect).
+double imbalance(const std::vector<int>& part, int n_parts);
+
+/// Part sizes histogram.
+std::vector<int> part_sizes(const std::vector<int>& part, int n_parts);
+
+}  // namespace cagmres::graph

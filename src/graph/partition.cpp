@@ -1,0 +1,222 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/bfs.hpp"
+#include "graph/rcm.hpp"
+
+namespace cagmres::graph {
+
+Ordering parse_ordering(const std::string& name) {
+  if (name == "natural" || name == "nat") return Ordering::kNatural;
+  if (name == "rcm") return Ordering::kRcm;
+  if (name == "kway" || name == "kwy") return Ordering::kKway;
+  throw Error("unknown ordering: " + name + " (expected natural|rcm|kway)");
+}
+
+std::string to_string(Ordering o) {
+  switch (o) {
+    case Ordering::kNatural:
+      return "natural";
+    case Ordering::kRcm:
+      return "rcm";
+    case Ordering::kKway:
+      return "kway";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Picks n_parts seeds spread across the graph: a random first seed, then
+/// repeatedly the vertex furthest (in BFS distance) from all chosen seeds.
+std::vector<int> spread_seeds(const Adjacency& g, int n_parts,
+                              std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b9u + 1);
+  std::vector<int> seeds;
+  seeds.push_back(
+      static_cast<int>(rng.bounded(static_cast<std::uint64_t>(g.n))));
+  while (static_cast<int>(seeds.size()) < n_parts) {
+    const LevelStructure ls = bfs_levels(g, seeds);
+    int far = -1;
+    int far_level = -1;
+    for (int v = 0; v < g.n; ++v) {
+      const int l = ls.level[static_cast<std::size_t>(v)];
+      if (l > far_level) {
+        far = v;
+        far_level = l;
+      }
+    }
+    // Disconnected leftovers have level -1; BFS never reaches them, so the
+    // max search above still finds a valid vertex (level -1 beats nothing
+    // only if everything is reached — then fall back to any vertex).
+    if (far_level <= 0) {
+      far = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(g.n)));
+    }
+    seeds.push_back(far);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::vector<int> kway_partition(const Adjacency& g, int n_parts,
+                                std::uint64_t seed, int refine_passes) {
+  CAGMRES_REQUIRE(n_parts >= 1, "need at least one part");
+  const int n = g.n;
+  std::vector<int> part(static_cast<std::size_t>(n), -1);
+  if (n_parts == 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+
+  const int cap = (n + n_parts - 1) / n_parts;
+  std::vector<int> size(static_cast<std::size_t>(n_parts), 0);
+  std::vector<std::deque<int>> frontier(static_cast<std::size_t>(n_parts));
+  const std::vector<int> seeds = spread_seeds(g, n_parts, seed);
+  for (int p = 0; p < n_parts; ++p) {
+    const int s = seeds[static_cast<std::size_t>(p)];
+    if (part[static_cast<std::size_t>(s)] < 0) {
+      part[static_cast<std::size_t>(s)] = p;
+      ++size[static_cast<std::size_t>(p)];
+      frontier[static_cast<std::size_t>(p)].push_back(s);
+    }
+  }
+
+  // Balanced synchronous region growing: parts take turns expanding their
+  // BFS frontier one vertex at a time until full.
+  int unassigned = n;
+  for (const int s : part) {
+    if (s >= 0) --unassigned;
+  }
+  bool progress = true;
+  while (unassigned > 0 && progress) {
+    progress = false;
+    for (int p = 0; p < n_parts; ++p) {
+      if (size[static_cast<std::size_t>(p)] >= cap) continue;
+      auto& fq = frontier[static_cast<std::size_t>(p)];
+      while (!fq.empty() && size[static_cast<std::size_t>(p)] < cap) {
+        const int v = fq.front();
+        // Claim one unassigned neighbor of v; rotate v to the back when its
+        // neighborhood is exhausted.
+        bool claimed = false;
+        for (const int* q = g.begin(v); q != g.end(v); ++q) {
+          if (part[static_cast<std::size_t>(*q)] < 0) {
+            part[static_cast<std::size_t>(*q)] = p;
+            ++size[static_cast<std::size_t>(p)];
+            fq.push_back(*q);
+            --unassigned;
+            claimed = true;
+            progress = true;
+            break;
+          }
+        }
+        if (claimed) break;
+        fq.pop_front();
+      }
+    }
+  }
+  // Disconnected leftovers: round-robin into the least-loaded parts.
+  if (unassigned > 0) {
+    for (int v = 0; v < n; ++v) {
+      if (part[static_cast<std::size_t>(v)] >= 0) continue;
+      const int p = static_cast<int>(
+          std::min_element(size.begin(), size.end()) - size.begin());
+      part[static_cast<std::size_t>(v)] = p;
+      ++size[static_cast<std::size_t>(p)];
+    }
+  }
+
+  // FM-style refinement: move boundary vertices to the neighboring part
+  // with the largest positive gain, respecting the balance cap.
+  std::vector<int> conn(static_cast<std::size_t>(n_parts), 0);
+  const int slack_cap = cap + cap / 20 + 1;
+  for (int pass = 0; pass < refine_passes; ++pass) {
+    int moves = 0;
+    for (int v = 0; v < n; ++v) {
+      const int pv = part[static_cast<std::size_t>(v)];
+      std::fill(conn.begin(), conn.end(), 0);
+      bool boundary = false;
+      for (const int* q = g.begin(v); q != g.end(v); ++q) {
+        const int pq = part[static_cast<std::size_t>(*q)];
+        ++conn[static_cast<std::size_t>(pq)];
+        if (pq != pv) boundary = true;
+      }
+      if (!boundary) continue;
+      int best = pv;
+      int best_gain = 0;
+      for (int p = 0; p < n_parts; ++p) {
+        if (p == pv || conn[static_cast<std::size_t>(p)] == 0) continue;
+        if (size[static_cast<std::size_t>(p)] + 1 > slack_cap) continue;
+        const int gain = conn[static_cast<std::size_t>(p)] -
+                         conn[static_cast<std::size_t>(pv)];
+        if (gain > best_gain ||
+            (gain == best_gain && best != pv &&
+             size[static_cast<std::size_t>(p)] <
+                 size[static_cast<std::size_t>(best)])) {
+          best = p;
+          best_gain = gain;
+        }
+      }
+      if (best != pv && size[static_cast<std::size_t>(pv)] > 1) {
+        part[static_cast<std::size_t>(v)] = best;
+        --size[static_cast<std::size_t>(pv)];
+        ++size[static_cast<std::size_t>(best)];
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+  return part;
+}
+
+Partition make_partition(const sparse::CsrMatrix& a, int n_parts,
+                         Ordering scheme, std::uint64_t seed) {
+  CAGMRES_REQUIRE(a.n_rows == a.n_cols, "partition needs a square matrix");
+  CAGMRES_REQUIRE(n_parts >= 1, "need at least one part");
+  const int n = a.n_rows;
+  Partition out;
+  out.scheme = scheme;
+  out.n_parts = n_parts;
+
+  switch (scheme) {
+    case Ordering::kNatural: {
+      out.perm.resize(static_cast<std::size_t>(n));
+      std::iota(out.perm.begin(), out.perm.end(), 0);
+      break;
+    }
+    case Ordering::kRcm: {
+      out.perm = rcm_ordering(build_adjacency(a));
+      break;
+    }
+    case Ordering::kKway: {
+      const Adjacency g = build_adjacency(a);
+      const std::vector<int> part = kway_partition(g, n_parts, seed);
+      // Order vertices by part; within a part keep original order (stable),
+      // which preserves whatever locality the input had.
+      out.perm.reserve(static_cast<std::size_t>(n));
+      out.offsets.assign(static_cast<std::size_t>(n_parts) + 1, 0);
+      for (int p = 0; p < n_parts; ++p) {
+        for (int v = 0; v < n; ++v) {
+          if (part[static_cast<std::size_t>(v)] == p) out.perm.push_back(v);
+        }
+        out.offsets[static_cast<std::size_t>(p) + 1] =
+            static_cast<int>(out.perm.size());
+      }
+      return out;
+    }
+  }
+  // Natural / RCM: contiguous near-equal row blocks.
+  out.offsets.resize(static_cast<std::size_t>(n_parts) + 1);
+  for (int p = 0; p <= n_parts; ++p) {
+    out.offsets[static_cast<std::size_t>(p)] =
+        static_cast<int>((static_cast<std::int64_t>(n) * p) / n_parts);
+  }
+  return out;
+}
+
+}  // namespace cagmres::graph

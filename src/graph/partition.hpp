@@ -1,0 +1,53 @@
+// Row distribution of the matrix across devices (paper §IV).
+//
+// The paper distributes A block-row-wise and compares three schemes:
+//  - natural: equal row blocks of the matrix as given;
+//  - RCM:     equal row blocks after reverse Cuthill-McKee reordering;
+//  - KWY:     METIS-style k-way graph partitioning that minimizes edge cut
+//             and balances the parts.
+// All three are expressed the same way here: a symmetric permutation plus
+// contiguous block offsets, so MPK and the solvers are scheme-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "sparse/csr.hpp"
+
+namespace cagmres::graph {
+
+/// Row distribution scheme (paper Figs. 6-8 legend: NAT / RCM / KWY).
+enum class Ordering { kNatural, kRcm, kKway };
+
+/// Parses "natural"/"nat", "rcm", "kway"/"kwy" (case-sensitive, lowercase).
+Ordering parse_ordering(const std::string& name);
+std::string to_string(Ordering o);
+
+/// A block-row distribution: apply `perm` symmetrically, then rows
+/// [offsets[d], offsets[d+1]) of the permuted matrix live on device d.
+struct Partition {
+  Ordering scheme = Ordering::kNatural;
+  int n_parts = 1;
+  std::vector<int> perm;     ///< permuted row i = original row perm[i]
+  std::vector<int> offsets;  ///< size n_parts + 1, offsets[0]=0, back()=n
+
+  int part_rows(int d) const {
+    return offsets[static_cast<std::size_t>(d) + 1] -
+           offsets[static_cast<std::size_t>(d)];
+  }
+};
+
+/// Builds a Partition of `a` into n_parts blocks under the given scheme.
+/// `seed` feeds the KWY seed selection; natural and RCM ignore it.
+Partition make_partition(const sparse::CsrMatrix& a, int n_parts,
+                         Ordering scheme, std::uint64_t seed = 0);
+
+/// Raw k-way partitioner on a graph: returns part[v] in [0, n_parts).
+/// Greedy balanced region growing from spread seeds followed by
+/// boundary-refinement passes that reduce the edge cut.
+std::vector<int> kway_partition(const Adjacency& g, int n_parts,
+                                std::uint64_t seed = 0, int refine_passes = 8);
+
+}  // namespace cagmres::graph

@@ -1,0 +1,16 @@
+// Reverse Cuthill-McKee bandwidth-reducing ordering (the paper's "RCM",
+// played by HSL MC60 there).
+#pragma once
+
+#include <vector>
+
+#include "graph/adjacency.hpp"
+
+namespace cagmres::graph {
+
+/// Computes the RCM permutation of the graph. perm[i] is the original vertex
+/// placed at position i of the new ordering. Disconnected components are
+/// each ordered from their own pseudo-peripheral root.
+std::vector<int> rcm_ordering(const Adjacency& g);
+
+}  // namespace cagmres::graph

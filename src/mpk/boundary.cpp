@@ -1,0 +1,53 @@
+#include "mpk/boundary.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cagmres::mpk {
+
+int BoundarySets::total_external() const {
+  int n = 0;
+  for (const auto& h : hops) n += static_cast<int>(h.size());
+  return n;
+}
+
+BoundarySets compute_boundary_sets(const sparse::CsrMatrix& a, int row0,
+                                   int row1, int s) {
+  CAGMRES_REQUIRE(0 <= row0 && row0 <= row1 && row1 <= a.n_rows,
+                  "bad row range");
+  CAGMRES_REQUIRE(s >= 1, "s must be positive");
+  BoundarySets out;
+  out.row0 = row0;
+  out.row1 = row1;
+  out.hops.resize(static_cast<std::size_t>(s));
+
+  // seen[v]: already classified (owned or an earlier hop).
+  std::vector<char> seen(static_cast<std::size_t>(a.n_rows), 0);
+  for (int i = row0; i < row1; ++i) seen[static_cast<std::size_t>(i)] = 1;
+
+  std::vector<int> frontier;
+  frontier.reserve(static_cast<std::size_t>(row1 - row0));
+  for (int i = row0; i < row1; ++i) frontier.push_back(i);
+
+  for (int t = 1; t <= s; ++t) {
+    std::vector<int>& next = out.hops[static_cast<std::size_t>(t) - 1];
+    for (const int r : frontier) {
+      const auto lo = a.row_ptr[static_cast<std::size_t>(r)];
+      const auto hi = a.row_ptr[static_cast<std::size_t>(r) + 1];
+      for (auto k = lo; k < hi; ++k) {
+        const int c = a.col_idx[static_cast<std::size_t>(k)];
+        if (!seen[static_cast<std::size_t>(c)]) {
+          seen[static_cast<std::size_t>(c)] = 1;
+          next.push_back(c);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    frontier = next;
+    if (frontier.empty()) break;  // dependency closure reached
+  }
+  return out;
+}
+
+}  // namespace cagmres::mpk

@@ -1,0 +1,36 @@
+// Boundary ("surface") set computation for the matrix powers kernel
+// (paper §IV-A, Fig. 5).
+//
+// For a device owning rows [row0, row1), the vertices of the adjacency
+// graph of A are classified by *hop distance*: hop 0 = owned rows, hop t =
+// vertices whose shortest directed path (following row -> column-index
+// edges) from an owned row has length t. In the paper's notation,
+// delta^(d,k) is exactly the hop-(s-k+1) set, and i^(d,k) is the union of
+// hops 0..s-k+1. Organizing by hop makes the per-step dependency a prefix:
+// step k of an s-step MPK needs boundary rows of hops 1..s-k.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::mpk {
+
+/// Hop-classified dependency sets of one device's row block.
+struct BoundarySets {
+  int row0 = 0;  ///< first owned row
+  int row1 = 0;  ///< one past last owned row
+  /// hops[t-1] = sorted global indices at hop distance t, for t = 1..s.
+  std::vector<std::vector<int>> hops;
+
+  /// Total number of external indices (all hops).
+  int total_external() const;
+};
+
+/// Computes the hop sets up to distance s for the block [row0, row1) of `a`.
+/// The expansion follows stored column indices of A (the directed pattern),
+/// matching the paper's str(a_i,:) recursion.
+BoundarySets compute_boundary_sets(const sparse::CsrMatrix& a, int row0,
+                                   int row1, int s);
+
+}  // namespace cagmres::mpk

@@ -1,0 +1,190 @@
+#include "mpk/exec.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/device_blas.hpp"
+
+namespace cagmres::mpk {
+
+MpkExecutor::MpkExecutor(const MpkPlan& plan) : plan_(&plan) {
+  const int ng = plan.n_devices();
+  z_.resize(static_cast<std::size_t>(ng));
+  pack_buf_.resize(static_cast<std::size_t>(ng));
+  for (int d = 0; d < ng; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    z_[static_cast<std::size_t>(d)].assign(
+        3, std::vector<double>(static_cast<std::size_t>(dp.z_size()), 0.0));
+    pack_buf_[static_cast<std::size_t>(d)].assign(dp.send_local_rows.size(),
+                                                  0.0);
+  }
+}
+
+void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
+                           int c0, int slot) {
+  const MpkPlan& plan = *plan_;
+  const int ng = plan.n_devices();
+
+  // Gather: each device packs the owned entries other devices need and
+  // ships one message to the CPU (Fig. 4 "Setup", first loop).
+  double gathered = 0.0;
+  for (int d = 0; d < ng; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    if (dp.send_local_rows.empty()) continue;
+    sim::dev_pack(m, d, dp.send_local_rows, v.col(d, c0),
+                  pack_buf_[static_cast<std::size_t>(d)].data());
+    m.d2h(d, 8.0 * static_cast<double>(dp.send_local_rows.size()));
+    gathered += static_cast<double>(dp.send_local_rows.size());
+  }
+  m.host_wait_all();
+  if (gathered > 0.0) {
+    // CPU expands the per-device messages into the full vector w.
+    m.charge_host(sim::Kernel::kCopy, 0.0, 16.0 * gathered);
+  }
+
+  // Scatter: each device receives its external elements and assembles its
+  // local working vector z (Fig. 4 "Setup", third loop).
+  for (int d = 0; d < ng; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    std::vector<double>& zd =
+        z_[static_cast<std::size_t>(d)][static_cast<std::size_t>(slot)];
+    const int next = static_cast<int>(dp.ext_global.size());
+    if (next > 0) m.h2d(d, 8.0 * next);
+    sim::dev_copy(m, d, dp.owned, v.col(d, c0), zd.data());
+    if (next > 0) {
+      // Expand the received buffer into z's external slots. Values are read
+      // straight from the owners' blocks (all host memory); the transfer
+      // cost was charged above.
+      for (int e = 0; e < next; ++e) {
+        zd[static_cast<std::size_t>(dp.owned + e)] =
+            v.col(dp.ext_owner[static_cast<std::size_t>(e)],
+                  c0)[dp.ext_owner_row[static_cast<std::size_t>(e)]];
+      }
+      m.charge_device(d, sim::Kernel::kPack, 0.0, 20.0 * next);
+    }
+  }
+}
+
+void MpkExecutor::apply(sim::Machine& m, sim::DistMultiVec& v, int c0,
+                        int steps, ShiftSeq shifts) {
+  const MpkPlan& plan = *plan_;
+  CAGMRES_REQUIRE(1 <= steps && steps <= plan.s,
+                  "steps must be in [1, plan.s]");
+  CAGMRES_REQUIRE(c0 >= 0 && c0 + steps < v.cols(), "column range overflow");
+  CAGMRES_REQUIRE(v.n_parts() == plan.n_devices(), "layout mismatch");
+  sim::PhaseScope phase(m, "mpk");
+  const int ng = plan.n_devices();
+
+  for (int d = 0; d < ng; ++d) {
+    CAGMRES_REQUIRE(v.local_rows(d) == plan.dev[static_cast<std::size_t>(d)].owned,
+                    "multivector rows do not match the plan");
+  }
+  // Slot 0 holds the starting vector (z^(d,1) of Fig. 4).
+  exchange(m, v, c0, /*slot=*/0);
+
+  for (int k = 1; k <= steps; ++k) {
+    const double theta = (shifts.re != nullptr) ? shifts.re[k - 1] : 0.0;
+    const bool pair_second =
+        (shifts.im != nullptr) && (shifts.im[k - 1] < 0.0);
+    CAGMRES_REQUIRE(!pair_second || (k >= 2 && shifts.im[k - 2] > 0.0),
+                    "complex pair straddles the MPK call boundary");
+    const double beta2 =
+        pair_second ? shifts.im[k - 2] * shifts.im[k - 2] : 0.0;
+
+    for (int d = 0; d < ng; ++d) {
+      const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+      auto& bufs = z_[static_cast<std::size_t>(d)];
+      const std::vector<double>& zin =
+          bufs[static_cast<std::size_t>((k - 1) % 3)];
+      std::vector<double>& zout = bufs[static_cast<std::size_t>(k % 3)];
+      const std::vector<double>& zprev2 =
+          bufs[static_cast<std::size_t>((k + 1) % 3)];  // two steps back
+
+      // Local block multiply (the reused A^(d), ELLPACK on the device).
+      if (plan.use_ell) {
+        sim::dev_spmv_ell(m, d, dp.local_ell, zin.data(), zout.data());
+      } else {
+        sim::dev_spmv_csr(m, d, dp.local_csr, zin.data(), zout.data());
+      }
+
+      // Boundary rows this step still has to produce (hop <= s-k prefix).
+      const int brows =
+          dp.boundary_rows_at_step[static_cast<std::size_t>(k) - 1];
+      if (brows > 0) {
+        const auto& b = dp.boundary;
+        for (int i = 0; i < brows; ++i) {
+          double acc = 0.0;
+          const auto lo = b.row_ptr[static_cast<std::size_t>(i)];
+          const auto hi = b.row_ptr[static_cast<std::size_t>(i) + 1];
+          for (auto p = lo; p < hi; ++p) {
+            acc += b.vals[static_cast<std::size_t>(p)] *
+                   zin[static_cast<std::size_t>(
+                       b.col_idx[static_cast<std::size_t>(p)])];
+          }
+          zout[static_cast<std::size_t>(
+              dp.boundary_out_pos[static_cast<std::size_t>(i)])] = acc;
+        }
+        const double bnnz = static_cast<double>(
+            b.row_ptr[static_cast<std::size_t>(brows)]);
+        m.charge_device(d, sim::Kernel::kSpmvCsr, 2.0 * bnnz,
+                        bnnz * 20.0 + 12.0 * brows);
+      }
+
+      // Newton shift: zout -= theta * zin on every computed position
+      // (owned rows plus the boundary prefix), fused into one AXPY charge.
+      if (theta != 0.0 || pair_second) {
+        for (int i = 0; i < dp.owned; ++i) {
+          zout[static_cast<std::size_t>(i)] -=
+              theta * zin[static_cast<std::size_t>(i)];
+          if (pair_second) {
+            zout[static_cast<std::size_t>(i)] +=
+                beta2 * zprev2[static_cast<std::size_t>(i)];
+          }
+        }
+        for (int i = 0; i < brows; ++i) {
+          const int pos = dp.boundary_out_pos[static_cast<std::size_t>(i)];
+          zout[static_cast<std::size_t>(pos)] -=
+              theta * zin[static_cast<std::size_t>(pos)];
+          if (pair_second) {
+            zout[static_cast<std::size_t>(pos)] +=
+                beta2 * zprev2[static_cast<std::size_t>(pos)];
+          }
+        }
+        const double rows = static_cast<double>(dp.owned + brows);
+        m.charge_device(d, sim::Kernel::kAxpy,
+                        (pair_second ? 4.0 : 2.0) * rows,
+                        (pair_second ? 4.0 : 3.0) * 8.0 * rows);
+      }
+
+      // Store the owned part as the next basis column (Fig. 4 last line).
+      sim::dev_copy(m, d, dp.owned, zout.data(), v.col(d, c0 + k));
+    }
+  }
+}
+
+void MpkExecutor::spmv(sim::Machine& m, sim::DistMultiVec& v, int xcol,
+                       int ycol) {
+  spmv(m, v, xcol, v, ycol);
+}
+
+void MpkExecutor::spmv(sim::Machine& m, const sim::DistMultiVec& x, int xcol,
+                       sim::DistMultiVec& y, int ycol) {
+  const MpkPlan& plan = *plan_;
+  CAGMRES_REQUIRE(plan.s == 1, "spmv requires an s=1 plan");
+  CAGMRES_REQUIRE(&x != &y || xcol != ycol, "in-place SpMV not supported");
+  sim::PhaseScope phase(m, "spmv");
+  const int ng = plan.n_devices();
+
+  exchange(m, x, xcol, /*slot=*/0);
+  for (int d = 0; d < ng; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    const double* zin = z_[static_cast<std::size_t>(d)][0].data();
+    if (plan.use_ell) {
+      sim::dev_spmv_ell(m, d, dp.local_ell, zin, y.col(d, ycol));
+    } else {
+      sim::dev_spmv_csr(m, d, dp.local_csr, zin, y.col(d, ycol));
+    }
+  }
+}
+
+}  // namespace cagmres::mpk

@@ -1,0 +1,61 @@
+// Matrix powers kernel execution (paper §IV-A, Fig. 4).
+//
+// MpkExecutor::apply generates steps new basis vectors from one starting
+// column with a single halo exchange:
+//   v_{c0+k} = (A - theta_k I) v_{c0+k-1}  (+ beta_k^2 v_{c0+k-2} for the
+//   second member of a complex conjugate shift pair — Hoemmen §7.3.2's
+//   real-arithmetic Newton basis).
+// theta = 0 everywhere gives the monomial basis. MpkExecutor::spmv runs the
+// plain one-hop distributed SpMV on an s=1 plan (the GMRES baseline).
+#pragma once
+
+#include <vector>
+
+#include "mpk/plan.hpp"
+#include "sim/machine.hpp"
+
+namespace cagmres::mpk {
+
+/// Newton-basis shift sequence; null pointers mean the monomial basis.
+/// re/im must hold at least `steps` entries; a complex conjugate pair
+/// occupies two adjacent slots (im > 0 then im < 0) and must not straddle
+/// an apply() boundary (core::prepare_block_shifts enforces this).
+struct ShiftSeq {
+  const double* re = nullptr;
+  const double* im = nullptr;
+};
+
+/// Executes MPK invocations against a fixed plan, reusing its z-buffers.
+class MpkExecutor {
+ public:
+  explicit MpkExecutor(const MpkPlan& plan);
+
+  const MpkPlan& plan() const { return *plan_; }
+
+  /// Generates v(:, c0+1 .. c0+steps) from v(:, c0). Requires
+  /// steps <= plan.s and c0 + steps < v.cols(). Charges all kernels and the
+  /// exchange to `machine` under phase "mpk".
+  void apply(sim::Machine& machine, sim::DistMultiVec& v, int c0, int steps,
+             ShiftSeq shifts = {});
+
+  /// y(:, ycol) := A x(:, xcol) with the standard one-hop halo exchange.
+  /// Requires a plan built with s == 1. Charged under phase "spmv".
+  void spmv(sim::Machine& machine, sim::DistMultiVec& v, int xcol, int ycol);
+
+  /// Cross-multivector variant: y(:, ycol) := A x(:, xcol). Used by
+  /// pipelined GMRES, whose lookahead products live in a second basis.
+  void spmv(sim::Machine& machine, const sim::DistMultiVec& x, int xcol,
+            sim::DistMultiVec& y, int ycol);
+
+ private:
+  /// Halo exchange of column c0 into z-buffer `slot` of every device.
+  void exchange(sim::Machine& machine, const sim::DistMultiVec& v, int c0,
+                int slot);
+
+  const MpkPlan* plan_;
+  // Triple-buffered working vectors per device (pair shifts read two back).
+  std::vector<std::vector<std::vector<double>>> z_;
+  std::vector<std::vector<double>> pack_buf_;
+};
+
+}  // namespace cagmres::mpk

@@ -1,0 +1,16 @@
+#include "mpk/stats.hpp"
+
+#include <numeric>
+
+namespace cagmres::mpk {
+
+std::int64_t MpkStats::gather_volume() const {
+  return std::accumulate(send_count.begin(), send_count.end(),
+                         std::int64_t{0});
+}
+
+std::int64_t MpkStats::scatter_volume() const {
+  return std::accumulate(ext_count.begin(), ext_count.end(), std::int64_t{0});
+}
+
+}  // namespace cagmres::mpk

@@ -1,0 +1,40 @@
+// Structural statistics of a matrix powers plan (paper Figs. 6-7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cagmres::mpk {
+
+/// Storage / computation / communication overheads of an MPK plan, per
+/// device and aggregated. Populated by build_mpk_plan.
+struct MpkStats {
+  int s = 1;
+  int n_devices = 1;
+  std::vector<std::int64_t> local_nnz;     ///< nnz(A^(d)) per device
+  std::vector<std::int64_t> boundary_nnz;  ///< nnz of multiplied boundary rows
+  std::vector<std::int64_t> ext_count;     ///< gathered vector elements per dev
+  std::vector<std::int64_t> send_count;    ///< scattered-to-others elements
+  std::vector<double> extra_flops;         ///< W^(d,s): extra MPK flops per call
+
+  /// Fig. 6 y-axis: boundary nnz relative to the local block's nnz.
+  double surface_to_volume(int d) const {
+    return local_nnz[static_cast<std::size_t>(d)] > 0
+               ? static_cast<double>(boundary_nnz[static_cast<std::size_t>(d)]) /
+                     static_cast<double>(local_nnz[static_cast<std::size_t>(d)])
+               : 0.0;
+  }
+
+  /// Elements gathered from the devices to the CPU per MPK call
+  /// (first term of the paper's communication-volume expression).
+  std::int64_t gather_volume() const;
+
+  /// Elements scattered from the CPU to the devices per MPK call
+  /// (second term: sum over devices of |delta^(d,1:s)|).
+  std::int64_t scatter_volume() const;
+
+  /// Total vector elements moved per MPK call.
+  std::int64_t total_volume() const { return gather_volume() + scatter_volume(); }
+};
+
+}  // namespace cagmres::mpk

@@ -1,0 +1,76 @@
+#include "ortho/borth.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "ortho/reduce.hpp"
+#include "sim/device_blas.hpp"
+
+namespace cagmres::ortho {
+
+BorthMethod parse_borth(const std::string& name) {
+  if (name == "mgs") return BorthMethod::kMgs;
+  if (name == "cgs") return BorthMethod::kCgs;
+  throw Error("unknown BOrth method: " + name + " (expected mgs|cgs)");
+}
+
+std::string to_string(BorthMethod m) {
+  return m == BorthMethod::kMgs ? "mgs" : "cgs";
+}
+
+blas::DMat borth(sim::Machine& machine, BorthMethod method,
+                 sim::DistMultiVec& v, int c0, int c1) {
+  CAGMRES_REQUIRE(0 <= c0 && c0 < c1 && c1 <= v.cols(),
+                  "borth: bad column range");
+  const int ng = machine.n_devices();
+  const int prev = c0;
+  const int blk = c1 - c0;
+  blas::DMat c(prev, blk);
+  if (prev == 0) return c;
+
+  if (method == BorthMethod::kCgs) {
+    // One projection C = Q_prev^T V_block and one update, a single
+    // reduction of prev*blk coefficients.
+    std::vector<std::vector<double>> partial(
+        static_cast<std::size_t>(ng),
+        std::vector<double>(static_cast<std::size_t>(prev) * blk, 0.0));
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_gemm_tn(machine, d, v.local_rows(d), prev, blk, v.col(d, 0),
+                       v.local(d).ld(), v.col(d, c0), v.local(d).ld(),
+                       partial[static_cast<std::size_t>(d)].data(), prev);
+    }
+    detail::reduce_to_host(machine, partial, prev * blk, c.data());
+    detail::broadcast_charge(machine, prev * blk);
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_gemm_nn_sub(machine, d, v.local_rows(d), prev, blk,
+                           v.col(d, 0), v.local(d).ld(), c.data(), c.ld(),
+                           v.col(d, c0), v.local(d).ld());
+    }
+    return c;
+  }
+
+  // MGS flavor: one reduction per previous column (still blocked across the
+  // s+1 new columns — "the s+1 vectors are orthogonalized against v_l at
+  // once", paper §V-A).
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(ng),
+      std::vector<double>(static_cast<std::size_t>(blk), 0.0));
+  std::vector<double> row(static_cast<std::size_t>(blk), 0.0);
+  for (int l = 0; l < prev; ++l) {
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_gemv_t(machine, d, v.local_rows(d), blk, v.col(d, c0),
+                      v.local(d).ld(), v.col(d, l),
+                      partial[static_cast<std::size_t>(d)].data());
+    }
+    detail::reduce_to_host(machine, partial, blk, row.data());
+    for (int j = 0; j < blk; ++j) c(l, j) = row[static_cast<std::size_t>(j)];
+    detail::broadcast_charge(machine, blk);
+    for (int d = 0; d < ng; ++d) {
+      sim::dev_ger_sub(machine, d, v.local_rows(d), blk, v.col(d, l),
+                       row.data(), v.col(d, c0), v.local(d).ld());
+    }
+  }
+  return c;
+}
+
+}  // namespace cagmres::ortho

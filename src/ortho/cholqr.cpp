@@ -1,0 +1,73 @@
+// Cholesky QR TSQR (paper §V-C, Fig. 9 bottom-left).
+//
+// One BLAS-3 Gram matrix per device, a single reduction, a tiny host
+// Cholesky, and one triangular solve: the minimum-communication TSQR
+// (2 messages total). The price is the squared condition number of the
+// Gram matrix — for ill-conditioned CA-GMRES bases Cholesky can break
+// down, which we detect and (optionally) absorb with a shifted retry that
+// the caller should follow with reorthogonalization ("2x CholQR").
+#include <vector>
+
+#include "blas/lapack.hpp"
+#include "common/error.hpp"
+#include "ortho/methods.hpp"
+#include "ortho/reduce.hpp"
+#include "sim/device_blas.hpp"
+
+namespace cagmres::ortho::detail {
+
+TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
+                       const TsqrOptions& opts, bool float_gram) {
+  const int ng = m.n_devices();
+  const int k = c1 - c0;
+  TsqrResult res;
+
+  // Local Gram matrices (batched DGEMM class under the Optimized profile;
+  // SGEMM-rate single-precision accumulation for the mixed variant).
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(ng),
+      std::vector<double>(static_cast<std::size_t>(k) * k, 0.0));
+  for (int d = 0; d < ng; ++d) {
+    if (float_gram) {
+      sim::dev_gram_float(m, d, v.local_rows(d), k, v.col(d, c0),
+                          v.local(d).ld(),
+                          partial[static_cast<std::size_t>(d)].data(), k);
+    } else {
+      sim::dev_gram(m, d, v.local_rows(d), k, v.col(d, c0), v.local(d).ld(),
+                    partial[static_cast<std::size_t>(d)].data(), k);
+    }
+  }
+  blas::DMat b(k, k);
+  reduce_to_host(m, partial, k * k, b.data());
+
+  // Host Cholesky (O(k^3/3) — negligible next to the panels).
+  blas::DMat r = b;
+  int fail = blas::potrf_upper(r);
+  m.charge_host(sim::Kernel::kGemm, static_cast<double>(k) * k * k / 3.0,
+                8.0 * k * k);
+  if (fail >= 0) {
+    res.breakdown = true;
+    CAGMRES_REQUIRE(opts.cholqr_shift_on_breakdown,
+                    "CholQR breakdown (Gram matrix numerically indefinite)");
+    // Escalating diagonal shift relative to the Gram diagonal.
+    double shift = opts.cholqr_shift;
+    for (int attempt = 0; attempt < 8 && fail >= 0; ++attempt) {
+      r = b;
+      for (int j = 0; j < k; ++j) r(j, j) = b(j, j) * (1.0 + shift) + shift;
+      fail = blas::potrf_upper(r);
+      shift *= 100.0;
+    }
+    CAGMRES_REQUIRE(fail < 0, "CholQR: shifted Cholesky still failing");
+  }
+
+  // Broadcast R, then the panel-wide triangular solve on each device.
+  broadcast_charge(m, k * k);
+  for (int d = 0; d < ng; ++d) {
+    sim::dev_trsm(m, d, v.local_rows(d), k, r.data(), r.ld(), v.col(d, c0),
+                  v.local(d).ld());
+  }
+  res.r = std::move(r);
+  return res;
+}
+
+}  // namespace cagmres::ortho::detail

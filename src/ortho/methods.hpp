@@ -1,0 +1,16 @@
+// Internal: per-method TSQR entry points, dispatched by tsqr().
+#pragma once
+
+#include "ortho/tsqr.hpp"
+
+namespace cagmres::ortho::detail {
+
+TsqrResult tsqr_mgs(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1);
+TsqrResult tsqr_cgs(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1);
+TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
+                       const TsqrOptions& opts, bool float_gram = false);
+TsqrResult tsqr_svqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
+                     const TsqrOptions& opts);
+TsqrResult tsqr_caqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1);
+
+}  // namespace cagmres::ortho::detail

@@ -1,0 +1,33 @@
+// Numerical quality metrics for TSQR factorizations (paper Fig. 13).
+//
+// These are measurement utilities for the experiments — they read the
+// distributed data directly and charge nothing to the simulated clock.
+#pragma once
+
+#include "blas/matrix.hpp"
+#include "sim/machine.hpp"
+
+namespace cagmres::ortho {
+
+/// The three error norms of the paper's Fig. 13.
+struct OrthoErrors {
+  double orthogonality = 0.0;   ///< ||I - Q^T Q||_F
+  double factorization = 0.0;   ///< ||V - Q R||_F / ||V||_F
+  double elementwise = 0.0;     ///< ||(V - Q R) ./ V||_F over stored entries
+};
+
+/// Measures the TSQR errors for columns [c0, c1): `q` holds the computed
+/// orthonormal block, `v_orig` the pre-factorization block in the same
+/// distributed layout, and `r` the k x k factor with V ~ Q R.
+OrthoErrors measure_errors(const sim::DistMultiVec& q,
+                           const sim::DistMultiVec& v_orig, int c0, int c1,
+                           const blas::DMat& r);
+
+/// ||I - Q^T Q||_F over columns [c0, c1) only.
+double orthogonality_error(const sim::DistMultiVec& q, int c0, int c1);
+
+/// 2-norm condition number of the block's columns, via the eigenvalues of
+/// its Gram matrix: kappa(V) = sqrt(lambda_max / lambda_min).
+double condition_number(const sim::DistMultiVec& v, int c0, int c1);
+
+}  // namespace cagmres::ortho

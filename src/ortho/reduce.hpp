@@ -1,0 +1,22 @@
+// Internal helpers shared by the orthogonalization kernels: the
+// reduce-to-CPU / broadcast-to-GPUs communication pattern of Fig. 9.
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace cagmres::ortho::detail {
+
+/// Sums the per-device partial buffers (each `len` doubles) into `out`,
+/// charging one asynchronous D2H message per device, a host wait, and the
+/// host-side additions. This is the "on CPU (comm)" step of Fig. 9.
+void reduce_to_host(sim::Machine& m,
+                    const std::vector<std::vector<double>>& partials, int len,
+                    double* out);
+
+/// Charges the broadcast of `len` doubles from the host to every device
+/// (one H2D message each) and makes subsequent device kernels wait for it.
+void broadcast_charge(sim::Machine& m, int len);
+
+}  // namespace cagmres::ortho::detail

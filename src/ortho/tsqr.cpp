@@ -1,0 +1,86 @@
+#include "ortho/tsqr.hpp"
+
+#include "common/error.hpp"
+#include "ortho/methods.hpp"
+#include "ortho/reduce.hpp"
+
+namespace cagmres::ortho {
+
+Method parse_method(const std::string& name) {
+  if (name == "mgs") return Method::kMgs;
+  if (name == "cgs") return Method::kCgs;
+  if (name == "cholqr") return Method::kCholQr;
+  if (name == "cholqr_mp") return Method::kCholQrMp;
+  if (name == "svqr") return Method::kSvqr;
+  if (name == "caqr") return Method::kCaqr;
+  throw Error("unknown TSQR method: " + name +
+              " (expected mgs|cgs|cholqr|svqr|caqr|cholqr_mp)");
+}
+
+std::string to_string(Method m) {
+  switch (m) {
+    case Method::kMgs:
+      return "mgs";
+    case Method::kCgs:
+      return "cgs";
+    case Method::kCholQr:
+      return "cholqr";
+    case Method::kSvqr:
+      return "svqr";
+    case Method::kCaqr:
+      return "caqr";
+    case Method::kCholQrMp:
+      return "cholqr_mp";
+  }
+  return "?";
+}
+
+TsqrResult tsqr(sim::Machine& machine, Method method, sim::DistMultiVec& v,
+                int c0, int c1, const TsqrOptions& opts) {
+  CAGMRES_REQUIRE(0 <= c0 && c0 < c1 && c1 <= v.cols(),
+                  "tsqr: bad column range");
+  switch (method) {
+    case Method::kMgs:
+      return detail::tsqr_mgs(machine, v, c0, c1);
+    case Method::kCgs:
+      return detail::tsqr_cgs(machine, v, c0, c1);
+    case Method::kCholQr:
+      return detail::tsqr_cholqr(machine, v, c0, c1, opts);
+    case Method::kCholQrMp:
+      return detail::tsqr_cholqr(machine, v, c0, c1, opts,
+                                 /*float_gram=*/true);
+    case Method::kSvqr:
+      return detail::tsqr_svqr(machine, v, c0, c1, opts);
+    case Method::kCaqr:
+      return detail::tsqr_caqr(machine, v, c0, c1);
+  }
+  throw Error("unreachable");
+}
+
+namespace detail {
+
+void reduce_to_host(sim::Machine& m,
+                    const std::vector<std::vector<double>>& partials, int len,
+                    double* out) {
+  const int ng = m.n_devices();
+  CAGMRES_ASSERT(static_cast<int>(partials.size()) == ng,
+                 "partials per device");
+  for (int d = 0; d < ng; ++d) m.d2h(d, 8.0 * len);
+  m.host_wait_all();
+  for (int i = 0; i < len; ++i) out[i] = 0.0;
+  for (int d = 0; d < ng; ++d) {
+    const auto& p = partials[static_cast<std::size_t>(d)];
+    CAGMRES_ASSERT(static_cast<int>(p.size()) >= len, "partial too short");
+    for (int i = 0; i < len; ++i) out[i] += p[static_cast<std::size_t>(i)];
+  }
+  m.charge_host(sim::Kernel::kAxpy, static_cast<double>(len) * ng,
+                16.0 * len * ng);
+}
+
+void broadcast_charge(sim::Machine& m, int len) {
+  for (int d = 0; d < m.n_devices(); ++d) m.h2d(d, 8.0 * len);
+}
+
+}  // namespace detail
+
+}  // namespace cagmres::ortho

@@ -1,0 +1,52 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cagmres::sim {
+
+Clock::Clock(int n_devices) : dev_(static_cast<std::size_t>(n_devices), 0.0) {
+  CAGMRES_REQUIRE(n_devices >= 1, "need at least one device");
+}
+
+void Clock::device_advance(int d, double s) {
+  CAGMRES_ASSERT(0 <= d && d < n_devices(), "device out of range");
+  auto& t = dev_[static_cast<std::size_t>(d)];
+  // The host posts kernels in program order, so a kernel cannot start before
+  // the host reached the launch site.
+  t = std::max(t, host_) + s;
+}
+
+void Clock::host_wait(int d) {
+  CAGMRES_ASSERT(0 <= d && d < n_devices(), "device out of range");
+  host_ = std::max(host_, dev_[static_cast<std::size_t>(d)]);
+}
+
+void Clock::host_wait_all() {
+  for (const double t : dev_) host_ = std::max(host_, t);
+}
+
+void Clock::device_wait_host(int d) {
+  CAGMRES_ASSERT(0 <= d && d < n_devices(), "device out of range");
+  auto& t = dev_[static_cast<std::size_t>(d)];
+  t = std::max(t, host_);
+}
+
+void Clock::sync_all() {
+  host_wait_all();
+  for (auto& t : dev_) t = host_;
+}
+
+double Clock::elapsed() const {
+  double m = host_;
+  for (const double t : dev_) m = std::max(m, t);
+  return m;
+}
+
+void Clock::reset() {
+  host_ = 0.0;
+  std::fill(dev_.begin(), dev_.end(), 0.0);
+}
+
+}  // namespace cagmres::sim

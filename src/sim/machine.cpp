@@ -1,0 +1,189 @@
+#include "sim/machine.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cagmres::sim {
+
+Counters Counters::operator-(const Counters& rhs) const {
+  Counters out(static_cast<int>(dev_flops.size()));
+  for (std::size_t d = 0; d < dev_flops.size(); ++d) {
+    out.dev_flops[d] = dev_flops[d] - rhs.dev_flops[d];
+    out.dev_bytes[d] = dev_bytes[d] - rhs.dev_bytes[d];
+    out.dev_kernels[d] = dev_kernels[d] - rhs.dev_kernels[d];
+  }
+  out.host_flops = host_flops - rhs.host_flops;
+  out.d2h_bytes = d2h_bytes - rhs.d2h_bytes;
+  out.h2d_bytes = h2d_bytes - rhs.h2d_bytes;
+  out.d2h_msgs = d2h_msgs - rhs.d2h_msgs;
+  out.h2d_msgs = h2d_msgs - rhs.h2d_msgs;
+  out.net_bytes = net_bytes - rhs.net_bytes;
+  out.net_msgs = net_msgs - rhs.net_msgs;
+  for (int k = 0; k < kKernelClasses; ++k) {
+    out.kernel_flops[static_cast<std::size_t>(k)] =
+        kernel_flops[static_cast<std::size_t>(k)] -
+        rhs.kernel_flops[static_cast<std::size_t>(k)];
+    out.kernel_seconds[static_cast<std::size_t>(k)] =
+        kernel_seconds[static_cast<std::size_t>(k)] -
+        rhs.kernel_seconds[static_cast<std::size_t>(k)];
+    out.kernel_count[static_cast<std::size_t>(k)] =
+        kernel_count[static_cast<std::size_t>(k)] -
+        rhs.kernel_count[static_cast<std::size_t>(k)];
+  }
+  return out;
+}
+
+double Counters::total_dev_flops() const {
+  return std::accumulate(dev_flops.begin(), dev_flops.end(), 0.0);
+}
+
+Machine::Machine(int n_devices, PerfModel model)
+    : model_(model),
+      topo_{1, n_devices},
+      clock_(n_devices),
+      counters_(n_devices) {}
+
+Machine::Machine(Topology topology, PerfModel model)
+    : model_(model),
+      topo_(topology),
+      clock_(topology.n_devices()),
+      counters_(topology.n_devices()) {
+  CAGMRES_REQUIRE(topology.n_nodes >= 1 && topology.gpus_per_node >= 1,
+                  "empty topology");
+}
+
+void Machine::mark_phase() {
+  const double now = clock_.elapsed();
+  phases_.add(phase_, now - phase_mark_);
+  phase_mark_ = now;
+}
+
+void Machine::set_phase(const std::string& phase) {
+  mark_phase();
+  phase_ = phase;
+  phases_.set_current(phase);
+}
+
+void Machine::charge_device(int d, Kernel k, double flops, double bytes) {
+  const double t = model_.device_seconds(k, flops, bytes);
+  clock_.device_advance(d, t);
+  if (tracing_) {
+    trace_.record(d, clock_.device_time(d) - t, clock_.device_time(d),
+                  kernel_name(k), phase_);
+  }
+  counters_.dev_flops[static_cast<std::size_t>(d)] += flops;
+  counters_.dev_bytes[static_cast<std::size_t>(d)] += bytes;
+  ++counters_.dev_kernels[static_cast<std::size_t>(d)];
+  const auto ki = static_cast<std::size_t>(kernel_index(k));
+  counters_.kernel_flops[ki] += flops;
+  counters_.kernel_seconds[ki] += t;
+  ++counters_.kernel_count[ki];
+  mark_phase();
+}
+
+void Machine::charge_host(Kernel k, double flops, double bytes) {
+  const double before = clock_.host_time();
+  clock_.host_advance(model_.host_seconds(k, flops, bytes));
+  if (tracing_) {
+    trace_.record(-1, before, clock_.host_time(), kernel_name(k), phase_);
+  }
+  counters_.host_flops += flops;
+  mark_phase();
+}
+
+void Machine::d2h(int d, double bytes) {
+  // A message from a remote node travels GPU -> local host -> network ->
+  // coordinating host; the serial path is folded into the device timeline
+  // (the device-side data is in flight either way).
+  double t = model_.transfer_seconds(bytes);
+  if (is_remote(d)) {
+    t += model_.net_seconds(bytes);
+    counters_.net_bytes += bytes;
+    ++counters_.net_msgs;
+  }
+  clock_.async_transfer(d, t);
+  if (tracing_) {
+    trace_.record(d, clock_.device_time(d) - t, clock_.device_time(d), "d2h",
+                  phase_);
+  }
+  counters_.d2h_bytes += bytes;
+  ++counters_.d2h_msgs;
+  mark_phase();
+}
+
+void Machine::h2d(int d, double bytes) {
+  double t = model_.transfer_seconds(bytes);
+  if (is_remote(d)) {
+    t += model_.net_seconds(bytes);
+    counters_.net_bytes += bytes;
+    ++counters_.net_msgs;
+  }
+  clock_.async_transfer(d, t);
+  if (tracing_) {
+    trace_.record(d, clock_.device_time(d) - t, clock_.device_time(d), "h2d",
+                  phase_);
+  }
+  counters_.h2d_bytes += bytes;
+  ++counters_.h2d_msgs;
+  mark_phase();
+}
+
+void Machine::reset() {
+  clock_.reset();
+  counters_ = Counters(n_devices());
+  phases_.clear();
+  trace_.clear();
+  phase_mark_ = 0.0;
+}
+
+DistVec::DistVec(const std::vector<int>& rows_per_device) {
+  part_.reserve(rows_per_device.size());
+  for (const int r : rows_per_device) {
+    CAGMRES_REQUIRE(r >= 0, "negative block size");
+    part_.emplace_back(static_cast<std::size_t>(r), 0.0);
+  }
+}
+
+int DistVec::total_rows() const {
+  int n = 0;
+  for (const auto& p : part_) n += static_cast<int>(p.size());
+  return n;
+}
+
+void DistVec::assign_from_host(const std::vector<double>& x) {
+  CAGMRES_REQUIRE(static_cast<int>(x.size()) == total_rows(),
+                  "host vector size mismatch");
+  std::size_t off = 0;
+  for (auto& p : part_) {
+    std::copy(x.begin() + static_cast<std::ptrdiff_t>(off),
+              x.begin() + static_cast<std::ptrdiff_t>(off + p.size()),
+              p.begin());
+    off += p.size();
+  }
+}
+
+std::vector<double> DistVec::to_host() const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(total_rows()));
+  for (const auto& p : part_) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+DistMultiVec::DistMultiVec(const std::vector<int>& rows_per_device, int cols)
+    : cols_(cols) {
+  CAGMRES_REQUIRE(cols >= 0, "negative column count");
+  part_.reserve(rows_per_device.size());
+  for (const int r : rows_per_device) {
+    CAGMRES_REQUIRE(r >= 0, "negative block size");
+    part_.emplace_back(r, cols);
+  }
+}
+
+int DistMultiVec::total_rows() const {
+  int n = 0;
+  for (const auto& p : part_) n += p.rows();
+  return n;
+}
+
+}  // namespace cagmres::sim

@@ -1,0 +1,210 @@
+// The simulated multi-GPU machine: devices, clock, counters, and the
+// distributed data containers the solvers operate on.
+//
+// All "device memory" is host memory, but the containers keep per-device
+// blocks in separate allocations and all access is routed through the
+// charged kernels in device_blas.hpp, so the communication structure of the
+// real implementation is preserved and priced.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blas/matrix.hpp"
+#include "sim/clock.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/phase_timers.hpp"
+#include "sim/trace.hpp"
+
+namespace cagmres::sim {
+
+/// Number of device kernel classes (size of the Kernel enum).
+inline constexpr int kKernelClasses = 12;
+/// Index of a kernel class into the per-class counter arrays.
+inline int kernel_index(Kernel k) { return static_cast<int>(k); }
+
+/// Aggregate operation counters (flops, bytes, messages). Subtractable so
+/// callers can measure a region by diffing snapshots.
+struct Counters {
+  std::vector<double> dev_flops;    ///< per device
+  std::vector<double> dev_bytes;    ///< per device
+  std::vector<std::int64_t> dev_kernels;
+  double host_flops = 0.0;
+  double d2h_bytes = 0.0;
+  double h2d_bytes = 0.0;
+  std::int64_t d2h_msgs = 0;
+  std::int64_t h2d_msgs = 0;
+  double net_bytes = 0.0;      ///< bytes that crossed the inter-node network
+  std::int64_t net_msgs = 0;   ///< messages that crossed it
+
+  /// Per-kernel-class aggregates across all devices (indexed by
+  /// kernel_index): where the flops and the simulated kernel time went.
+  std::array<double, kKernelClasses> kernel_flops{};
+  std::array<double, kKernelClasses> kernel_seconds{};
+  std::array<std::int64_t, kKernelClasses> kernel_count{};
+
+  explicit Counters(int n_devices = 0)
+      : dev_flops(static_cast<std::size_t>(n_devices), 0.0),
+        dev_bytes(static_cast<std::size_t>(n_devices), 0.0),
+        dev_kernels(static_cast<std::size_t>(n_devices), 0) {}
+
+  Counters operator-(const Counters& rhs) const;
+  double total_dev_flops() const;
+  std::int64_t total_msgs() const { return d2h_msgs + h2d_msgs; }
+};
+
+/// Multi-node topology for the paper-§VII projection: `n_nodes` compute
+/// nodes with `gpus_per_node` devices each. Devices on node 0 talk to the
+/// coordinating host over PCIe only; devices on other nodes pay an
+/// additional network hop per message (flat-MPI model — each remote device
+/// contribution is its own message; hierarchical per-node combining is a
+/// possible refinement, see DESIGN.md).
+struct Topology {
+  int n_nodes = 1;
+  int gpus_per_node = 1;
+
+  int n_devices() const { return n_nodes * gpus_per_node; }
+  int node_of(int device) const { return device / gpus_per_node; }
+};
+
+/// The simulated node: n devices + host, a perf model, a clock, counters,
+/// and phase attribution of elapsed time.
+class Machine {
+ public:
+  /// Single-node machine with `n_devices` GPUs (the paper's testbed shape).
+  Machine(int n_devices, PerfModel model = {});
+
+  /// Multi-node machine (the §VII projection).
+  Machine(Topology topology, PerfModel model = {});
+
+  int n_devices() const { return clock_.n_devices(); }
+  const Topology& topology() const { return topo_; }
+  /// Node the device lives on (0 = the coordinating node).
+  int node_of(int d) const { return topo_.node_of(d); }
+  /// True when messages to/from this device cross the network.
+  bool is_remote(int d) const { return node_of(d) != 0; }
+  const PerfModel& perf() const { return model_; }
+  PerfModel& perf() { return model_; }
+  Clock& clock() { return clock_; }
+  const Clock& clock() const { return clock_; }
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  PhaseTimers& phases() { return phases_; }
+
+  /// Charges a kernel of the given class to device d's timeline.
+  void charge_device(int d, Kernel k, double flops, double bytes);
+
+  /// Charges host-side work.
+  void charge_host(Kernel k, double flops, double bytes);
+
+  /// Posts an async device-to-host message from device d.
+  void d2h(int d, double bytes);
+
+  /// Posts an async host-to-device message to device d.
+  void h2d(int d, double bytes);
+
+  /// Host blocks until device d (and its copy queue) is done.
+  void host_wait(int d) { mark_phase(); clock_.host_wait(d); }
+  void host_wait_all() { mark_phase(); clock_.host_wait_all(); }
+  void sync_all() { mark_phase(); clock_.sync_all(); }
+
+  /// Attributes subsequently elapsed simulated time to `phase`.
+  void set_phase(const std::string& phase);
+
+  /// Starts/stops recording every charged operation into trace().
+  void enable_trace(bool on = true) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+  /// Resets the clock, counters, trace, and phase attribution.
+  void reset();
+
+ private:
+  void mark_phase();
+
+  PerfModel model_;
+  Topology topo_;
+  Clock clock_;
+  Counters counters_;
+  PhaseTimers phases_;
+  Trace trace_;
+  bool tracing_ = false;
+  std::string phase_ = "other";
+  double phase_mark_ = 0.0;
+};
+
+/// RAII phase label: attributes the enclosed region's elapsed simulated time.
+class PhaseScope {
+ public:
+  PhaseScope(Machine& m, const std::string& phase)
+      : m_(m), prev_(m.phases().current()) {
+    m_.set_phase(phase);
+  }
+  ~PhaseScope() { m_.set_phase(prev_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Machine& m_;
+  std::string prev_;
+};
+
+/// A vector of length sum(rows) distributed block-row-wise over devices.
+class DistVec {
+ public:
+  DistVec() = default;
+  explicit DistVec(const std::vector<int>& rows_per_device);
+
+  int n_parts() const { return static_cast<int>(part_.size()); }
+  int local_rows(int d) const {
+    return static_cast<int>(part_[static_cast<std::size_t>(d)].size());
+  }
+  int total_rows() const;
+
+  double* local(int d) { return part_[static_cast<std::size_t>(d)].data(); }
+  const double* local(int d) const {
+    return part_[static_cast<std::size_t>(d)].data();
+  }
+
+  /// Copies from a host vector laid out in block order (no charge: setup).
+  void assign_from_host(const std::vector<double>& x);
+
+  /// Concatenates the blocks back to one host vector (no charge: teardown).
+  std::vector<double> to_host() const;
+
+ private:
+  std::vector<std::vector<double>> part_;
+};
+
+/// An n x cols multivector distributed block-row-wise: device d owns a
+/// (rows_d x cols) column-major panel. This is the Krylov basis V.
+class DistMultiVec {
+ public:
+  DistMultiVec() = default;
+  DistMultiVec(const std::vector<int>& rows_per_device, int cols);
+
+  int n_parts() const { return static_cast<int>(part_.size()); }
+  int cols() const { return cols_; }
+  int local_rows(int d) const {
+    return part_[static_cast<std::size_t>(d)].rows();
+  }
+  int total_rows() const;
+
+  blas::DMat& local(int d) { return part_[static_cast<std::size_t>(d)]; }
+  const blas::DMat& local(int d) const {
+    return part_[static_cast<std::size_t>(d)];
+  }
+
+  /// Pointer to column j of device d's panel.
+  double* col(int d, int j) { return local(d).col(j); }
+  const double* col(int d, int j) const { return local(d).col(j); }
+
+ private:
+  std::vector<blas::DMat> part_;
+  int cols_ = 0;
+};
+
+}  // namespace cagmres::sim

@@ -1,0 +1,20 @@
+#include "sim/phase_timers.hpp"
+
+namespace cagmres::sim {
+
+void PhaseTimers::add(const std::string& phase, double seconds) {
+  if (seconds != 0.0) acc_[phase] += seconds;
+}
+
+double PhaseTimers::get(const std::string& phase) const {
+  const auto it = acc_.find(phase);
+  return (it == acc_.end()) ? 0.0 : it->second;
+}
+
+double PhaseTimers::total() const {
+  double t = 0.0;
+  for (const auto& [_, v] : acc_) t += v;
+  return t;
+}
+
+}  // namespace cagmres::sim

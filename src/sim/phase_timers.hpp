@@ -1,0 +1,40 @@
+// Attribution of elapsed simulated time to named solver phases.
+//
+// The paper's tables break the restart loop into Orth (BOrth + TSQR), SpMV/
+// MPK, and "rest" time. The solvers label regions with Machine::set_phase /
+// PhaseScope, and this accumulator records how much global elapsed time
+// passed under each label.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cagmres::sim {
+
+/// Named accumulators of simulated seconds.
+class PhaseTimers {
+ public:
+  /// Adds `seconds` to `phase`.
+  void add(const std::string& phase, double seconds);
+
+  /// Accumulated seconds for `phase` (0 when never seen).
+  double get(const std::string& phase) const;
+
+  /// Sum over all phases.
+  double total() const;
+
+  /// All phases and their accumulated time.
+  const std::map<std::string, double>& all() const { return acc_; }
+
+  void clear() { acc_.clear(); }
+
+  /// Currently active label, maintained by Machine.
+  const std::string& current() const { return current_; }
+  void set_current(const std::string& phase) { current_ = phase; }
+
+ private:
+  std::map<std::string, double> acc_;
+  std::string current_ = "other";
+};
+
+}  // namespace cagmres::sim

@@ -1,0 +1,60 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+#include "sim/perf_model.hpp"
+
+namespace cagmres::sim {
+
+void Trace::record(int device, double t_start, double t_end, std::string name,
+                   std::string phase) {
+  events_.push_back(
+      {device, t_start, t_end, std::move(name), std::move(phase)});
+}
+
+void Trace::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    // tid 0 = host, tid d+1 = device d. Complete ("X") events in us.
+    out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.phase
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << (e.device + 1)
+        << ",\"ts\":" << e.t_start * 1e6
+        << ",\"dur\":" << (e.t_end - e.t_start) * 1e6 << "}";
+  }
+  out << "]}";
+}
+
+std::string kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kDot:
+      return "dot";
+    case Kernel::kAxpy:
+      return "axpy";
+    case Kernel::kScal:
+      return "scal";
+    case Kernel::kCopy:
+      return "copy";
+    case Kernel::kGemv:
+      return "gemv";
+    case Kernel::kGemm:
+      return "gemm";
+    case Kernel::kTrsm:
+      return "trsm";
+    case Kernel::kGeqrf:
+      return "geqrf";
+    case Kernel::kSpmvEll:
+      return "spmv_ell";
+    case Kernel::kSpmvCsr:
+      return "spmv_csr";
+    case Kernel::kPack:
+      return "pack";
+    case Kernel::kSmall:
+      return "small";
+  }
+  return "?";
+}
+
+}  // namespace cagmres::sim

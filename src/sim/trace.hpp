@@ -1,0 +1,49 @@
+// Simulated-timeline tracing.
+//
+// When enabled on a Machine, every charged kernel, transfer, and host
+// operation is recorded as a (timeline, start, end, name, phase) interval.
+// write_chrome_json emits the Chrome trace-event format, so a whole solve
+// can be inspected in chrome://tracing or Perfetto — device concurrency,
+// reduction stalls, and MPK's single exchange per s vectors are all
+// directly visible.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cagmres::sim {
+
+/// One recorded interval on a simulated timeline.
+struct TraceEvent {
+  int device = -1;       ///< -1 = host timeline, otherwise the device id
+  double t_start = 0.0;  ///< simulated seconds
+  double t_end = 0.0;
+  std::string name;      ///< kernel class or "d2h"/"h2d"
+  std::string phase;     ///< active solver phase when charged
+};
+
+/// Collected trace of one Machine.
+class Trace {
+ public:
+  void record(int device, double t_start, double t_end, std::string name,
+              std::string phase);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events,
+  /// microsecond timestamps; pid 0, one tid per timeline).
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Human-readable name of a device kernel class (for traces and reports).
+class PerfModel;
+enum class Kernel;
+std::string kernel_name(Kernel k);
+
+}  // namespace cagmres::sim

@@ -1,0 +1,56 @@
+#include "sparse/balance.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cagmres::sparse {
+
+BalanceScaling balance(CsrMatrix& a) {
+  BalanceScaling s;
+  s.row.assign(static_cast<std::size_t>(a.n_rows), 1.0);
+  s.col.assign(static_cast<std::size_t>(a.n_cols), 1.0);
+
+  // Row pass.
+  for (int i = 0; i < a.n_rows; ++i) {
+    const auto lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const auto hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    double acc = 0.0;
+    for (auto k = lo; k < hi; ++k) {
+      const double v = a.vals[static_cast<std::size_t>(k)];
+      acc += v * v;
+    }
+    if (acc > 0.0) {
+      const double inv = 1.0 / std::sqrt(acc);
+      s.row[static_cast<std::size_t>(i)] = inv;
+      for (auto k = lo; k < hi; ++k) a.vals[static_cast<std::size_t>(k)] *= inv;
+    }
+  }
+  // Column pass (on the row-scaled matrix).
+  std::vector<double> colsq(static_cast<std::size_t>(a.n_cols), 0.0);
+  for (std::size_t k = 0; k < a.vals.size(); ++k) {
+    colsq[static_cast<std::size_t>(a.col_idx[k])] += a.vals[k] * a.vals[k];
+  }
+  for (int j = 0; j < a.n_cols; ++j) {
+    if (colsq[static_cast<std::size_t>(j)] > 0.0) {
+      s.col[static_cast<std::size_t>(j)] =
+          1.0 / std::sqrt(colsq[static_cast<std::size_t>(j)]);
+    }
+  }
+  for (std::size_t k = 0; k < a.vals.size(); ++k) {
+    a.vals[k] *= s.col[static_cast<std::size_t>(a.col_idx[k])];
+  }
+  return s;
+}
+
+void scale_rhs(const BalanceScaling& s, std::vector<double>& b) {
+  CAGMRES_REQUIRE(b.size() == s.row.size(), "rhs size mismatch");
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] *= s.row[i];
+}
+
+void unscale_solution(const BalanceScaling& s, std::vector<double>& y) {
+  CAGMRES_REQUIRE(y.size() == s.col.size(), "solution size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] *= s.col[i];
+}
+
+}  // namespace cagmres::sparse

@@ -1,0 +1,33 @@
+// Matrix equilibration (the paper's §VI "balancing").
+//
+// Before iterating, the paper scales rows by their norms and then columns by
+// their norms; this improves the conditioning of the Krylov bases and hence
+// the stability of the orthogonalization procedures. Solving the balanced
+// system (Dr A Dc) y = Dr b and recovering x = Dc y is handled by the solver
+// drivers via the scaling vectors returned here.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::sparse {
+
+/// Scaling produced by balance(): A_balanced = diag(row) * A * diag(col).
+struct BalanceScaling {
+  std::vector<double> row;  ///< left (row) scale factors
+  std::vector<double> col;  ///< right (column) scale factors
+};
+
+/// Scales rows of `a` by 1/||row||_2, then columns by 1/||col||_2, in place.
+/// Zero rows/columns keep scale 1. Returns the applied scaling.
+BalanceScaling balance(CsrMatrix& a);
+
+/// Applies b_scaled[i] = scaling.row[i] * b[i] (the rhs of the balanced
+/// system).
+void scale_rhs(const BalanceScaling& s, std::vector<double>& b);
+
+/// Recovers x[i] = scaling.col[i] * y[i] from the balanced solution y.
+void unscale_solution(const BalanceScaling& s, std::vector<double>& y);
+
+}  // namespace cagmres::sparse

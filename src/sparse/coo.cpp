@@ -1,0 +1,66 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cagmres::sparse {
+
+CooBuilder::CooBuilder(int n_rows, int n_cols)
+    : n_rows_(n_rows), n_cols_(n_cols) {
+  CAGMRES_REQUIRE(n_rows >= 0 && n_cols >= 0, "negative dimension");
+}
+
+void CooBuilder::add(int i, int j, double v) {
+  CAGMRES_ASSERT(0 <= i && i < n_rows_ && 0 <= j && j < n_cols_,
+                 "triplet out of range");
+  rows_.push_back(i);
+  cols_.push_back(j);
+  vals_.push_back(v);
+}
+
+CsrMatrix CooBuilder::build() {
+  const std::size_t nnz_in = rows_.size();
+  std::vector<std::size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rows_[a] != rows_[b]) return rows_[a] < rows_[b];
+    return cols_[a] < cols_[b];
+  });
+
+  CsrMatrix out;
+  out.n_rows = n_rows_;
+  out.n_cols = n_cols_;
+  out.row_ptr.assign(static_cast<std::size_t>(n_rows_) + 1, 0);
+  out.col_idx.reserve(nnz_in);
+  out.vals.reserve(nnz_in);
+
+  int last_row = -1;
+  int last_col = -1;
+  for (const std::size_t k : order) {
+    const int i = rows_[k];
+    const int j = cols_[k];
+    if (i == last_row && j == last_col) {
+      out.vals.back() += vals_[k];
+    } else {
+      out.col_idx.push_back(j);
+      out.vals.push_back(vals_[k]);
+      ++out.row_ptr[static_cast<std::size_t>(i) + 1];
+      last_row = i;
+      last_col = j;
+    }
+  }
+  for (std::size_t i = 1; i < out.row_ptr.size(); ++i) {
+    out.row_ptr[i] += out.row_ptr[i - 1];
+  }
+  rows_.clear();
+  cols_.clear();
+  vals_.clear();
+  rows_.shrink_to_fit();
+  cols_.shrink_to_fit();
+  vals_.shrink_to_fit();
+  return out;
+}
+
+}  // namespace cagmres::sparse

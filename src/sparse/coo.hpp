@@ -1,0 +1,34 @@
+// Coordinate-format builder: the convenient way to assemble a CsrMatrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::sparse {
+
+/// Accumulates (i, j, v) triplets and converts them to CSR. Duplicate
+/// entries are summed (finite-element style assembly).
+class CooBuilder {
+ public:
+  CooBuilder(int n_rows, int n_cols);
+
+  /// Adds v to entry (i, j).
+  void add(int i, int j, double v);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(rows_.size()); }
+
+  /// Sorts, merges duplicates, and produces the CSR matrix. The builder is
+  /// left empty afterwards.
+  CsrMatrix build();
+
+ private:
+  int n_rows_;
+  int n_cols_;
+  std::vector<int> rows_;
+  std::vector<int> cols_;
+  std::vector<double> vals_;
+};
+
+}  // namespace cagmres::sparse

@@ -1,0 +1,39 @@
+// ELLPACK sparse storage — the GPU-friendly format of the paper.
+//
+// The paper's device SpMV uses ELLPACK (Fig. 3 caption): every row is padded
+// to the same width and the matrix is stored column-of-slots-major so that
+// consecutive GPU threads (one per row) read consecutive memory. We keep the
+// same layout; the simulated device charges SpMV by the bytes this layout
+// actually touches, which is how ELLPACK's padding overhead shows up.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::sparse {
+
+/// ELLPACK matrix: `width` slots per row, slot-major storage
+/// (entry (row i, slot k) lives at index k * n_rows + i).
+struct EllMatrix {
+  int n_rows = 0;
+  int n_cols = 0;
+  int width = 0;
+  std::vector<int> col_idx;   ///< size n_rows * width; padding uses row index
+  std::vector<double> vals;   ///< size n_rows * width; padding uses 0.0
+
+  std::int64_t stored_slots() const {
+    return static_cast<std::int64_t>(n_rows) * width;
+  }
+};
+
+/// Converts CSR to ELLPACK (width = max row nnz).
+EllMatrix to_ell(const CsrMatrix& a);
+
+/// y := A x for ELLPACK A.
+void spmv(const EllMatrix& a, const double* x, double* y);
+
+/// Fraction of padded (wasted) slots: 1 - nnz / (n_rows * width).
+double padding_ratio(const EllMatrix& a, std::int64_t nnz);
+
+}  // namespace cagmres::sparse

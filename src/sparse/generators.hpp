@@ -1,0 +1,69 @@
+// Synthetic sparse matrix generators.
+//
+// The paper evaluates on four SuiteSparse matrices (its Fig. 12): cant,
+// G3_circuit, dielFilterV2real, and nlpkkt120. Those files are not
+// available offline, so each generator below builds an analog that
+// preserves the *structural* properties the experiments exercise —
+// bandedness vs. irregularity (drives the MPK surface-to-volume story of
+// Figs. 6-8), nonzeros per row (drives SpMV cost), and rough conditioning
+// (drives restart counts and the orthogonalization error study of Fig. 13).
+// DESIGN.md §2 documents the mapping. All generators are deterministic
+// given their arguments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::sparse {
+
+/// 2D 5-point convection-diffusion operator on an nx x ny grid.
+/// `convection` adds a nonsymmetric first-order term (0 = pure Laplacian);
+/// `shift` adds shift*I (larger = better conditioned).
+CsrMatrix make_laplace2d(int nx, int ny, double convection = 0.0,
+                         double shift = 0.0);
+
+/// 3D 7-point convection-diffusion operator on an nx x ny x nz grid.
+CsrMatrix make_laplace3d(int nx, int ny, int nz, double convection = 0.0,
+                         double shift = 0.0);
+
+/// 3D 27-point stencil with `block` unknowns per grid node (FEM-style dof
+/// blocks), optional anisotropy in z and a nonsymmetric convection term.
+/// `contrast` > 0 draws a lognormal per-node coefficient field spanning
+/// 10^contrast orders of magnitude (edge weight = harmonic mean of the two
+/// endpoint coefficients) — the standard way heterogeneous FEM problems get
+/// their large condition numbers, and our hardness lever for matching the
+/// paper's iteration counts.
+CsrMatrix make_stencil27(int nx, int ny, int nz, int block,
+                         double convection = 0.0, double anisotropy = 1.0,
+                         double shift = 0.0, double contrast = 0.0,
+                         std::uint64_t seed = 7);
+
+/// Analog of `cant` (FEM cantilever, n=62k, 64 nnz/row): naturally banded
+/// 3D 27-point stencil with 2-dof blocks. grid ~ 31*scale per side.
+CsrMatrix make_cant_like(double scale = 1.0);
+
+/// Analog of `G3_circuit` (n=1.58M, 4.8 nnz/row): a 2D 5-point grid plus a
+/// sprinkling of random long-range "wire" edges. When `scrambled` (the
+/// default, matching how circuit netlists are numbered) the rows are
+/// randomly permuted, so the *natural* ordering has terrible locality and
+/// reordering (RCM/KWY) pays off exactly as in the paper's Fig. 6.
+CsrMatrix make_circuit_like(double scale = 1.0, bool scrambled = true,
+                            std::uint64_t seed = 42);
+
+/// Analog of `dielFilterV2real` (FEM electromagnetics, n=1.15M, 42 nnz/row):
+/// anisotropic nonsymmetric 3D 27-point stencil, mildly indefinite so GMRES
+/// needs many restarts.
+CsrMatrix make_fem3d_like(double scale = 1.0);
+
+/// Analog of `nlpkkt120` (KKT system, n=3.54M, 27 nnz/row): a 2x2 block
+/// saddle-point system [[H, G^T], [G, -delta*I]] on a 3D grid with a
+/// regularized (2,2) block. Hard for unpreconditioned GMRES, as in Fig. 15.
+CsrMatrix make_kkt_like(double scale = 1.0);
+
+/// Looks up a paper matrix analog by name: "cant", "g3_circuit"/"g3",
+/// "dielfilter", or "nlpkkt". Throws on unknown names.
+CsrMatrix make_paper_matrix(const std::string& name, double scale = 1.0);
+
+}  // namespace cagmres::sparse

@@ -1,0 +1,149 @@
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace cagmres::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  CAGMRES_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty stream");
+  std::istringstream header(lower(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  CAGMRES_REQUIRE(banner == "%%matrixmarket", "missing MatrixMarket banner");
+  CAGMRES_REQUIRE(object == "matrix" && format == "coordinate",
+                  "only coordinate matrices supported");
+  CAGMRES_REQUIRE(field == "real" || field == "integer" || field == "pattern",
+                  "only real/integer/pattern fields supported");
+  const bool pattern = (field == "pattern");
+  const bool symmetric = (symmetry == "symmetric");
+  const bool skew = (symmetry == "skew-symmetric");
+  CAGMRES_REQUIRE(symmetric || skew || symmetry == "general",
+                  "unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  long long rows = 0, cols = 0, entries = 0;
+  sizes >> rows >> cols >> entries;
+  CAGMRES_REQUIRE(rows > 0 && cols > 0 && entries >= 0, "bad size line");
+
+  CooBuilder builder(static_cast<int>(rows), static_cast<int>(cols));
+  for (long long k = 0; k < entries; ++k) {
+    CAGMRES_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                    "truncated matrix file");
+    std::istringstream entry(line);
+    long long i = 0, j = 0;
+    double v = 1.0;
+    entry >> i >> j;
+    if (!pattern) entry >> v;
+    CAGMRES_REQUIRE(1 <= i && i <= rows && 1 <= j && j <= cols,
+                    "entry index out of range");
+    builder.add(static_cast<int>(i - 1), static_cast<int>(j - 1), v);
+    if ((symmetric || skew) && i != j) {
+      builder.add(static_cast<int>(j - 1), static_cast<int>(i - 1),
+                  skew ? -v : v);
+    }
+  }
+  return builder.build();
+}
+
+CsrMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  CAGMRES_REQUIRE(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(const CsrMatrix& a, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.n_rows << " " << a.n_cols << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (int i = 0; i < a.n_rows; ++i) {
+    const auto lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const auto hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    for (auto k = lo; k < hi; ++k) {
+      out << (i + 1) << " " << (a.col_idx[static_cast<std::size_t>(k)] + 1)
+          << " " << a.vals[static_cast<std::size_t>(k)] << "\n";
+    }
+  }
+}
+
+void write_matrix_market(const CsrMatrix& a, const std::string& path) {
+  std::ofstream out(path);
+  CAGMRES_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  write_matrix_market(a, out);
+}
+
+std::vector<double> read_vector(std::istream& in) {
+  std::vector<double> x;
+  std::string line;
+  bool mm_header = false;
+  bool sizes_read = false;
+  long long expected = -1;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '%') {
+      if (!mm_header && lower(line).rfind("%%matrixmarket", 0) == 0) {
+        CAGMRES_REQUIRE(lower(line).find("array") != std::string::npos,
+                        "vector file must be MatrixMarket array format");
+        mm_header = true;
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    if (mm_header && !sizes_read) {
+      long long rows = 0, cols = 0;
+      row >> rows >> cols;
+      CAGMRES_REQUIRE(rows > 0 && cols == 1, "expected an n x 1 array");
+      expected = rows;
+      x.reserve(static_cast<std::size_t>(rows));
+      sizes_read = true;
+      continue;
+    }
+    double v = 0.0;
+    while (row >> v) x.push_back(v);
+  }
+  CAGMRES_REQUIRE(expected < 0 || static_cast<long long>(x.size()) == expected,
+                  "vector file shorter than its header claims");
+  CAGMRES_REQUIRE(!x.empty(), "empty vector file");
+  return x;
+}
+
+std::vector<double> read_vector(const std::string& path) {
+  std::ifstream in(path);
+  CAGMRES_REQUIRE(in.good(), "cannot open " + path);
+  return read_vector(in);
+}
+
+void write_vector(const std::vector<double>& x, std::ostream& out) {
+  out << "%%MatrixMarket matrix array real general\n";
+  out << x.size() << " 1\n";
+  out.precision(17);
+  for (const double v : x) out << v << "\n";
+}
+
+void write_vector(const std::vector<double>& x, const std::string& path) {
+  std::ofstream out(path);
+  CAGMRES_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  write_vector(x, out);
+}
+
+}  // namespace cagmres::sparse

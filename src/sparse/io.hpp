@@ -1,0 +1,40 @@
+// Matrix Market I/O.
+//
+// The paper's test matrices come from the UF (SuiteSparse) collection in
+// Matrix Market format. This environment is offline, so our experiments use
+// the synthetic analogs in generators.hpp — but a downstream user with the
+// real files drops them in via read_matrix_market and every bench accepts a
+// --matrix=path override.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::sparse {
+
+/// Reads a Matrix Market coordinate file (real, general/symmetric/
+/// skew-symmetric; `pattern` entries get value 1.0). Symmetric storage is
+/// expanded to full. Throws cagmres::Error on malformed input.
+CsrMatrix read_matrix_market(const std::string& path);
+
+/// Stream variant of read_matrix_market.
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Writes `a` as a real general Matrix Market coordinate file.
+void write_matrix_market(const CsrMatrix& a, const std::string& path);
+
+/// Stream variant of write_matrix_market.
+void write_matrix_market(const CsrMatrix& a, std::ostream& out);
+
+/// Reads a dense vector: MatrixMarket array format (%%MatrixMarket matrix
+/// array real general, n x 1) or a bare one-value-per-line file.
+std::vector<double> read_vector(const std::string& path);
+std::vector<double> read_vector(std::istream& in);
+
+/// Writes a dense vector in MatrixMarket array format.
+void write_vector(const std::vector<double>& x, const std::string& path);
+void write_vector(const std::vector<double>& x, std::ostream& out);
+
+}  // namespace cagmres::sparse

@@ -1,0 +1,50 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::sparse {
+
+MatrixStats compute_stats(const CsrMatrix& a) {
+  MatrixStats s;
+  s.n = a.n_rows;
+  s.nnz = a.nnz();
+  s.avg_row_nnz = (a.n_rows > 0)
+                      ? static_cast<double>(s.nnz) / static_cast<double>(a.n_rows)
+                      : 0.0;
+  double band_acc = 0.0;
+  for (int i = 0; i < a.n_rows; ++i) {
+    s.max_row_nnz = std::max(s.max_row_nnz, a.row_nnz(i));
+    const auto lo = a.row_ptr[static_cast<std::size_t>(i)];
+    const auto hi = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    for (auto k = lo; k < hi; ++k) {
+      const int d = std::abs(a.col_idx[static_cast<std::size_t>(k)] - i);
+      s.bandwidth = std::max(s.bandwidth, d);
+      band_acc += d;
+    }
+  }
+  s.avg_bandwidth = (s.nnz > 0) ? band_acc / static_cast<double>(s.nnz) : 0.0;
+
+  if (a.n_rows == a.n_cols) {
+    // Structural symmetry: pattern of A equals pattern of A^T.
+    const CsrMatrix at = transpose(a);
+    s.structurally_symmetric =
+        at.row_ptr == a.row_ptr && at.col_idx == a.col_idx;
+  }
+  return s;
+}
+
+std::string to_string(const MatrixStats& s) {
+  std::ostringstream os;
+  os << "n=" << s.n << " nnz=" << s.nnz << " nnz/row=" << s.avg_row_nnz
+     << " max_row=" << s.max_row_nnz << " bw=" << s.bandwidth
+     << " avg_bw=" << s.avg_bandwidth
+     << (s.structurally_symmetric ? " sym" : " nonsym");
+  return os.str();
+}
+
+}  // namespace cagmres::sparse

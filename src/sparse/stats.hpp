@@ -1,0 +1,28 @@
+// Structural statistics used by the experiment harnesses (paper Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::sparse {
+
+/// Summary statistics of a sparse matrix's structure.
+struct MatrixStats {
+  int n = 0;
+  std::int64_t nnz = 0;
+  double avg_row_nnz = 0.0;
+  int max_row_nnz = 0;
+  int bandwidth = 0;          ///< max |i - j| over stored entries
+  double avg_bandwidth = 0.0; ///< mean |i - j|
+  bool structurally_symmetric = false;
+};
+
+/// Computes MatrixStats for `a` (square matrices only for symmetry check).
+MatrixStats compute_stats(const CsrMatrix& a);
+
+/// One-line human-readable rendering (for bench headers).
+std::string to_string(const MatrixStats& s);
+
+}  // namespace cagmres::sparse

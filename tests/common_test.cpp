@@ -1,0 +1,184 @@
+// Unit tests for the common utilities: RNG determinism and statistics,
+// option parsing, table rendering, and error macros — plus the vector I/O
+// added to sparse/io.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sparse/io.hpp"
+
+namespace cagmres {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  // Different seeds diverge immediately.
+  Rng a2(123);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(6);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BoundedIsUnbiasedEnough) {
+  Rng rng(7);
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+  EXPECT_THROW(rng.bounded(0), Error);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(8);
+  const std::vector<int> p = rng.permutation(200);
+  std::vector<char> seen(200, 0);
+  for (const int v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 200);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+TEST(Options, ParsesAllForms) {
+  Options opts("test");
+  opts.add("alpha", "1", "an int");
+  opts.add("name", "x", "a string");
+  opts.add("flag", "0", "a boolean");
+  opts.add("list", "1,2", "an int list");
+  const char* argv[] = {"prog", "--alpha=7", "--name", "hello", "--flag",
+                        "--list=3,4,5"};
+  ASSERT_TRUE(opts.parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(opts.get_int("alpha"), 7);
+  EXPECT_EQ(opts.get("name"), "hello");
+  EXPECT_TRUE(opts.get_bool("flag"));
+  EXPECT_EQ(opts.get_int_list("list"), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(Options, DefaultsAndErrors) {
+  Options opts("test");
+  opts.add("x", "2.5", "a double");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(opts.parse(1, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(opts.get_double("x"), 2.5);
+  EXPECT_THROW(opts.get("nope"), Error);
+
+  const char* bad[] = {"prog", "--unknown=1"};
+  EXPECT_THROW(opts.parse(2, const_cast<char**>(bad)), Error);
+  const char* notopt[] = {"prog", "stray"};
+  EXPECT_THROW(opts.parse(2, const_cast<char**>(notopt)), Error);
+  EXPECT_THROW(opts.add("x", "1", "duplicate"), Error);
+}
+
+TEST(Options, HelpReturnsFalseAndPrints) {
+  Options opts("my tool");
+  opts.add("k", "1", "the knob");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(opts.parse(2, const_cast<char**>(argv)));
+  EXPECT_NE(opts.help().find("my tool"), std::string::npos);
+  EXPECT_NE(opts.help().find("--k"), std::string::npos);
+}
+
+TEST(Table, AlignsColumnsAndSeparators) {
+  Table t({"aa", "b"});
+  t.add_row({"1", "22"});
+  t.add_separator();
+  t.add_row({"333", "4"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("aa"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream is(s);
+  std::string line;
+  int lines = 0;
+  std::size_t header_len = 0;
+  while (std::getline(is, line)) {
+    if (lines == 0) {
+      header_len = line.size();
+    } else if (lines % 2 == 0) {
+      EXPECT_EQ(line.size(), header_len);  // data rows align with the header
+    }
+    ++lines;
+  }
+  EXPECT_EQ(lines, 5);  // header, rule, row, rule, row
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt_int(1234567), "1234567");
+}
+
+TEST(ErrorMacros, RequireThrowsWithContext) {
+  try {
+    CAGMRES_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(VectorIo, RoundTripsMatrixMarketArray) {
+  const std::vector<double> x = {1.5, -2.25, 1e-17, 4.0};
+  std::stringstream ss;
+  sparse::write_vector(x, ss);
+  const std::vector<double> y = sparse::read_vector(ss);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(VectorIo, ReadsBareNumberList) {
+  std::stringstream ss("1.0\n2.0\n3.0\n");
+  const std::vector<double> x = sparse::read_vector(ss);
+  EXPECT_EQ(x, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(VectorIo, RejectsShortArrayAndMatrixShapes) {
+  std::stringstream short_file(
+      "%%MatrixMarket matrix array real general\n3 1\n1.0\n2.0\n");
+  EXPECT_THROW(sparse::read_vector(short_file), Error);
+  std::stringstream two_cols(
+      "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(sparse::read_vector(two_cols), Error);
+  std::stringstream empty("");
+  EXPECT_THROW(sparse::read_vector(empty), Error);
+}
+
+}  // namespace
+}  // namespace cagmres

@@ -1,0 +1,213 @@
+// Unit tests for the graph algorithms: adjacency, BFS, RCM, k-way
+// partitioning, and partition metrics.
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/adjacency.hpp"
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "graph/partition.hpp"
+#include "graph/rcm.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/stats.hpp"
+
+namespace cagmres::graph {
+namespace {
+
+using sparse::CsrMatrix;
+
+/// Path graph 0-1-2-...-(n-1) as a matrix.
+CsrMatrix path_matrix(int n) {
+  sparse::CooBuilder b(n, n);
+  for (int i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i + 1 < n) {
+      b.add(i, i + 1, -1.0);
+      b.add(i + 1, i, -1.0);
+    }
+  }
+  return b.build();
+}
+
+TEST(Adjacency, SymmetrizesAndDropsSelfLoops) {
+  sparse::CooBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 1.0);  // only one direction stored
+  b.add(2, 1, 1.0);
+  const Adjacency g = build_adjacency(b.build());
+  EXPECT_EQ(g.n, 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);  // sees both 0 and 2
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_EQ(*g.begin(0), 1);
+}
+
+TEST(Bfs, LevelsOnPathGraph) {
+  const Adjacency g = build_adjacency(path_matrix(6));
+  const LevelStructure ls = bfs_levels(g, 0);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(ls.level[static_cast<std::size_t>(v)], v);
+  EXPECT_EQ(ls.height, 5);
+  EXPECT_EQ(ls.reached, 6);
+}
+
+TEST(Bfs, MultiSourceAndDisconnected) {
+  // Two disconnected paths: 0-1-2 and 3-4.
+  sparse::CooBuilder b(5, 5);
+  b.add(0, 1, 1.0);
+  b.add(1, 2, 1.0);
+  b.add(3, 4, 1.0);
+  for (int i = 0; i < 5; ++i) b.add(i, i, 1.0);
+  const Adjacency g = build_adjacency(b.build());
+  const LevelStructure ls = bfs_levels(g, std::vector<int>{0, 2});
+  EXPECT_EQ(ls.level[0], 0);
+  EXPECT_EQ(ls.level[1], 1);
+  EXPECT_EQ(ls.level[2], 0);
+  EXPECT_EQ(ls.level[3], -1);  // unreachable
+  EXPECT_EQ(ls.reached, 3);
+}
+
+TEST(Bfs, PseudoPeripheralOnPathFindsEndpoint) {
+  const Adjacency g = build_adjacency(path_matrix(9));
+  const int v = pseudo_peripheral_vertex(g, 4);  // start in the middle
+  EXPECT_TRUE(v == 0 || v == 8);
+}
+
+TEST(Rcm, IsAPermutation) {
+  const CsrMatrix a = sparse::make_circuit_like(0.04, true, 3);
+  const std::vector<int> p = rcm_ordering(build_adjacency(a));
+  ASSERT_EQ(static_cast<int>(p.size()), a.n_rows);
+  std::vector<char> seen(p.size(), 0);
+  for (const int v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, a.n_rows);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+TEST(Rcm, ReducesBandwidthOfScrambledGrid) {
+  // A randomly permuted pure grid: RCM must recover most of the lost
+  // locality (a circuit-like graph with random long edges bounds what any
+  // ordering can do, so use the clean grid for the strong assertion).
+  const CsrMatrix grid = sparse::make_laplace2d(24, 24);
+  Rng rng(55);
+  const CsrMatrix scrambled =
+      sparse::permute_symmetric(grid, rng.permutation(grid.n_rows));
+  const sparse::MatrixStats before = sparse::compute_stats(scrambled);
+  const std::vector<int> p = rcm_ordering(build_adjacency(scrambled));
+  const CsrMatrix ar = sparse::permute_symmetric(scrambled, p);
+  const sparse::MatrixStats after = sparse::compute_stats(ar);
+  EXPECT_LT(after.avg_bandwidth, 0.25 * before.avg_bandwidth);
+  EXPECT_LT(after.bandwidth, 64);  // near the grid's natural band of ~24
+
+  // On the circuit-like graph RCM still helps, just less dramatically.
+  const CsrMatrix cir = sparse::make_circuit_like(0.05, true, 5);
+  const sparse::MatrixStats cb = sparse::compute_stats(cir);
+  const CsrMatrix cr =
+      sparse::permute_symmetric(cir, rcm_ordering(build_adjacency(cir)));
+  EXPECT_LT(sparse::compute_stats(cr).avg_bandwidth, 0.7 * cb.avg_bandwidth);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  sparse::CooBuilder b(6, 6);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(2, 3, 1.0);
+  b.add(3, 2, 1.0);
+  for (int i = 0; i < 6; ++i) b.add(i, i, 1.0);
+  const std::vector<int> p = rcm_ordering(build_adjacency(b.build()));
+  EXPECT_EQ(p.size(), 6u);  // isolated vertices 4, 5 included
+}
+
+TEST(Kway, PartitionIsBalancedAndComplete) {
+  const CsrMatrix a = sparse::make_laplace2d(20, 20);
+  const Adjacency g = build_adjacency(a);
+  for (const int np : {2, 3, 4}) {
+    const std::vector<int> part = kway_partition(g, np, 1);
+    const std::vector<int> sizes = part_sizes(part, np);
+    for (const int s : sizes) EXPECT_GT(s, 0);
+    EXPECT_LE(imbalance(part, np), 1.12);
+  }
+}
+
+TEST(Kway, CutBeatsRandomAssignment) {
+  const CsrMatrix a = sparse::make_laplace2d(24, 24);
+  const Adjacency g = build_adjacency(a);
+  const std::vector<int> part = kway_partition(g, 3, 2);
+  Rng rng(9);
+  std::vector<int> random_part(static_cast<std::size_t>(g.n));
+  for (auto& p : random_part) p = static_cast<int>(rng.bounded(3));
+  // A grid has a natural cut ~O(sqrt(n)); random assignment cuts ~2/3 of
+  // all edges. The partitioner must be far closer to the former.
+  EXPECT_LT(edge_cut(g, part), edge_cut(g, random_part) / 4);
+}
+
+TEST(Kway, SinglePartTrivial) {
+  const CsrMatrix a = path_matrix(10);
+  const Adjacency g = build_adjacency(a);
+  const std::vector<int> part = kway_partition(g, 1, 0);
+  for (const int p : part) EXPECT_EQ(p, 0);
+  EXPECT_EQ(edge_cut(g, part), 0);
+}
+
+TEST(Kway, DisconnectedGraphStillCovered) {
+  sparse::CooBuilder b(8, 8);
+  for (int i = 0; i < 8; ++i) b.add(i, i, 1.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);  // the rest are isolated vertices
+  const Adjacency g = build_adjacency(b.build());
+  const std::vector<int> part = kway_partition(g, 2, 3);
+  const std::vector<int> sizes = part_sizes(part, 2);
+  EXPECT_EQ(sizes[0] + sizes[1], 8);
+  EXPECT_GT(sizes[0], 0);
+  EXPECT_GT(sizes[1], 0);
+}
+
+TEST(Partition, NaturalGivesContiguousEqualBlocks) {
+  const CsrMatrix a = path_matrix(10);
+  const Partition p = make_partition(a, 3, Ordering::kNatural);
+  EXPECT_EQ(p.offsets.front(), 0);
+  EXPECT_EQ(p.offsets.back(), 10);
+  for (int d = 0; d < 3; ++d) EXPECT_GE(p.part_rows(d), 3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.perm[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Partition, AllSchemesProduceValidPermutations) {
+  const CsrMatrix a = sparse::make_circuit_like(0.04, true, 17);
+  for (const Ordering o :
+       {Ordering::kNatural, Ordering::kRcm, Ordering::kKway}) {
+    const Partition p = make_partition(a, 3, o, 5);
+    ASSERT_EQ(static_cast<int>(p.perm.size()), a.n_rows) << to_string(o);
+    std::vector<char> seen(p.perm.size(), 0);
+    for (const int v : p.perm) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = 1;
+    }
+    EXPECT_EQ(p.offsets.front(), 0);
+    EXPECT_EQ(p.offsets.back(), a.n_rows);
+    for (int d = 0; d < 3; ++d) EXPECT_GT(p.part_rows(d), 0);
+  }
+}
+
+TEST(Partition, ParseRoundTrip) {
+  EXPECT_EQ(parse_ordering("natural"), Ordering::kNatural);
+  EXPECT_EQ(parse_ordering("rcm"), Ordering::kRcm);
+  EXPECT_EQ(parse_ordering("kwy"), Ordering::kKway);
+  EXPECT_EQ(to_string(Ordering::kKway), "kway");
+  EXPECT_THROW(parse_ordering("hilbert"), Error);
+}
+
+TEST(Metrics, EdgeCutCountsOnce) {
+  const Adjacency g = build_adjacency(path_matrix(4));
+  EXPECT_EQ(edge_cut(g, {0, 0, 1, 1}), 1);
+  EXPECT_EQ(edge_cut(g, {0, 1, 0, 1}), 3);
+  EXPECT_DOUBLE_EQ(imbalance({0, 0, 1, 1}, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace cagmres::graph

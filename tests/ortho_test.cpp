@@ -1,0 +1,318 @@
+// Unit + property tests for the five TSQR procedures and BOrth
+// (paper §V, Figs. 9-10).
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "blas/blas1.hpp"
+#include "blas/blas3.hpp"
+#include "common/rng.hpp"
+#include "ortho/borth.hpp"
+#include "ortho/metrics.hpp"
+#include "ortho/tsqr.hpp"
+#include "sim/machine.hpp"
+
+namespace cagmres::ortho {
+namespace {
+
+using sim::DistMultiVec;
+using sim::Machine;
+
+std::vector<int> split_rows(int n, int ng) {
+  std::vector<int> rows(static_cast<std::size_t>(ng));
+  for (int d = 0; d < ng; ++d) {
+    rows[static_cast<std::size_t>(d)] =
+        static_cast<int>((static_cast<long long>(n) * (d + 1)) / ng -
+                         (static_cast<long long>(n) * d) / ng);
+  }
+  return rows;
+}
+
+void fill_random(DistMultiVec& v, Rng& rng) {
+  for (int d = 0; d < v.n_parts(); ++d) {
+    for (int j = 0; j < v.cols(); ++j) {
+      double* col = v.col(d, j);
+      for (int i = 0; i < v.local_rows(d); ++i) col[i] = rng.normal();
+    }
+  }
+}
+
+/// Makes columns [c0, c1) a graded, nearly dependent set (like an MPK
+/// monomial basis): col_{j+1} = damp * col_j + eps * noise.
+void make_graded(DistMultiVec& v, int c0, int c1, double eps, Rng& rng) {
+  for (int j = c0 + 1; j < c1; ++j) {
+    for (int d = 0; d < v.n_parts(); ++d) {
+      double* prev = v.col(d, j - 1);
+      double* col = v.col(d, j);
+      for (int i = 0; i < v.local_rows(d); ++i) {
+        col[i] = 3.0 * prev[i] + eps * rng.normal();
+      }
+    }
+  }
+}
+
+struct Param {
+  Method method;
+  int ng;
+};
+
+class TsqrParamTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TsqrParamTest, FactorizesRandomPanel) {
+  const auto [method, ng] = GetParam();
+  Machine m(ng);
+  Rng rng(100 + ng);
+  const int n = 400, k = 7;
+  DistMultiVec v(split_rows(n, ng), k);
+  fill_random(v, rng);
+  DistMultiVec v0 = v;
+
+  const TsqrResult res = tsqr(m, method, v, 0, k);
+  EXPECT_FALSE(res.breakdown);
+  const OrthoErrors e = measure_errors(v, v0, 0, k, res.r);
+  EXPECT_LT(e.orthogonality, 1e-10) << to_string(method);
+  EXPECT_LT(e.factorization, 1e-12) << to_string(method);
+  // R upper triangular.
+  for (int j = 0; j < k; ++j) {
+    for (int i = j + 1; i < k; ++i) EXPECT_EQ(res.r(i, j), 0.0);
+  }
+  // Simulated time advanced and at least one message flowed per direction
+  // when ng > 1 (single device still reduces through the CPU here).
+  EXPECT_GT(m.clock().elapsed(), 0.0);
+  EXPECT_GE(m.counters().d2h_msgs, 1);
+}
+
+TEST_P(TsqrParamTest, SubrangeLeavesOtherColumnsUntouched) {
+  const auto [method, ng] = GetParam();
+  Machine m(ng);
+  Rng rng(200 + ng);
+  const int n = 300, cols = 9;
+  DistMultiVec v(split_rows(n, ng), cols);
+  fill_random(v, rng);
+  DistMultiVec v0 = v;
+
+  tsqr(m, method, v, 3, 8);
+  for (int d = 0; d < ng; ++d) {
+    for (const int j : {0, 1, 2, 8}) {
+      for (int i = 0; i < v.local_rows(d); ++i) {
+        EXPECT_EQ(v.col(d, j)[i], v0.col(d, j)[i]);
+      }
+    }
+  }
+  EXPECT_LT(orthogonality_error(v, 3, 8), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsAndDevices, TsqrParamTest,
+    ::testing::Values(Param{Method::kMgs, 1}, Param{Method::kMgs, 3},
+                      Param{Method::kCgs, 1}, Param{Method::kCgs, 3},
+                      Param{Method::kCholQr, 1}, Param{Method::kCholQr, 3},
+                      Param{Method::kSvqr, 1}, Param{Method::kSvqr, 3},
+                      Param{Method::kCaqr, 1}, Param{Method::kCaqr, 2},
+                      Param{Method::kCaqr, 3}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return to_string(info.param.method) + "_ng" +
+             std::to_string(info.param.ng);
+    });
+
+TEST(TsqrCommunication, MessageCountsMatchFig10) {
+  // Fig. 10's GPU-CPU communication column: MGS (s+1)(s+2) messages,
+  // CGS 2(s+1), CholQR/SVQR/CAQR 2 — counted per device.
+  const int n = 600, k = 6;  // k = s+1
+  for (const int ng : {1, 2, 3}) {
+    Rng rng(42);
+    auto count = [&](Method method) {
+      Machine m(ng);
+      DistMultiVec v(split_rows(n, ng), k);
+      fill_random(v, rng);
+      tsqr(m, method, v, 0, k);
+      return m.counters().total_msgs() / ng;
+    };
+    EXPECT_EQ(count(Method::kMgs), (k) * (k + 1));      // (s+1)(s+2)
+    EXPECT_EQ(count(Method::kCgs), 2 * k);              // 2(s+1)
+    EXPECT_EQ(count(Method::kCholQr), 2);
+    EXPECT_EQ(count(Method::kSvqr), 2);
+    EXPECT_EQ(count(Method::kCaqr), 2);
+  }
+}
+
+TEST(TsqrStability, OrthogonalityDegradesInTheFig10Order) {
+  // On an ill-conditioned panel: CAQR ~ eps, MGS ~ eps*kappa,
+  // CholQR/SVQR ~ eps*kappa^2. (CGS sits between MGS and CholQR.)
+  Machine m(2);
+  Rng rng(77);
+  const int n = 500, k = 8;
+  DistMultiVec v(split_rows(n, 2), k);
+  fill_random(v, rng);
+  make_graded(v, 0, k, 1e-5, rng);
+  const double kappa = condition_number(v, 0, k);
+  EXPECT_GT(kappa, 1e4);  // genuinely ill-conditioned
+
+  auto ortho_err = [&](Method method) {
+    DistMultiVec work = v;
+    Machine mm(2);
+    tsqr(mm, method, work, 0, k);
+    return orthogonality_error(work, 0, k);
+  };
+  const double e_caqr = ortho_err(Method::kCaqr);
+  const double e_mgs = ortho_err(Method::kMgs);
+  const double e_chol = ortho_err(Method::kCholQr);
+  EXPECT_LT(e_caqr, 1e-12);
+  EXPECT_LT(e_caqr, e_mgs);
+  EXPECT_LT(e_mgs, e_chol + 1e-16);
+}
+
+TEST(CholQr, BreakdownOnRankDeficientPanelIsReported) {
+  Machine m(1);
+  Rng rng(88);
+  const int n = 200, k = 5;
+  DistMultiVec v(split_rows(n, 1), k);
+  fill_random(v, rng);
+  // Make column 3 an exact copy of column 1: Gram matrix is singular.
+  blas::copy(n, v.col(0, 1), v.col(0, 3));
+
+  TsqrOptions opts;
+  const TsqrResult res = tsqr(m, Method::kCholQr, v, 0, k, opts);
+  EXPECT_TRUE(res.breakdown);  // shifted retry succeeded but flagged
+
+  // With the fallback disabled it must throw instead.
+  DistMultiVec v2(split_rows(n, 1), k);
+  fill_random(v2, rng);
+  blas::copy(n, v2.col(0, 1), v2.col(0, 3));
+  opts.cholqr_shift_on_breakdown = false;
+  EXPECT_THROW(tsqr(m, Method::kCholQr, v2, 0, k, opts), Error);
+}
+
+TEST(Svqr, HandlesRankDeficientPanelWithoutBreakdown) {
+  Machine m(2);
+  Rng rng(89);
+  const int n = 300, k = 5;
+  DistMultiVec v(split_rows(n, 2), k);
+  fill_random(v, rng);
+  for (int d = 0; d < 2; ++d) blas::copy(v.local_rows(d), v.col(d, 0), v.col(d, 2));
+
+  const TsqrResult res = tsqr(m, Method::kSvqr, v, 0, k);
+  EXPECT_FALSE(res.breakdown);
+  // Q spans the panel; R reproduces V on the numerical rank.
+  DistMultiVec v0 = v;  // cannot compare factorization on singular input
+  // but Q must still be close to orthonormal on its numerical range:
+  EXPECT_LT(orthogonality_error(v, 0, 2), 1e-8);  // leading full-rank part
+}
+
+TEST(Svqr, DiagonalScalingToggleStillFactors) {
+  Machine m(1);
+  Rng rng(90);
+  const int n = 250, k = 6;
+  DistMultiVec v(split_rows(n, 1), k);
+  fill_random(v, rng);
+  // Badly scaled columns.
+  for (int j = 0; j < k; ++j) {
+    blas::scal(n, std::pow(10.0, j - 3), v.col(0, j));
+  }
+  DistMultiVec v0 = v;
+  TsqrOptions opts;
+  opts.svqr_scale_diagonal = false;
+  const TsqrResult r1 = tsqr(m, Method::kSvqr, v, 0, k, opts);
+  const OrthoErrors e1 = measure_errors(v, v0, 0, k, r1.r);
+  EXPECT_LT(e1.orthogonality, 1e-9);
+
+  DistMultiVec w = v0;
+  opts.svqr_scale_diagonal = true;
+  const TsqrResult r2 = tsqr(m, Method::kSvqr, w, 0, k, opts);
+  const OrthoErrors e2 = measure_errors(w, v0, 0, k, r2.r);
+  EXPECT_LT(e2.orthogonality, 1e-9);
+  // The paper's observation: scaling does not hurt, usually helps the
+  // element-wise error.
+  EXPECT_LE(e2.elementwise, e1.elementwise * 10.0);
+}
+
+TEST(Borth, CgsProjectsBlockAgainstPreviousBasis) {
+  Machine m(3);
+  Rng rng(91);
+  const int n = 450, prev = 5, blk = 4;
+  DistMultiVec v(split_rows(n, 3), prev + blk);
+  fill_random(v, rng);
+  // Orthonormalize the first `prev` columns first.
+  tsqr(m, Method::kCaqr, v, 0, prev);
+  DistMultiVec before = v;
+
+  const blas::DMat c = borth(m, BorthMethod::kCgs, v, prev, prev + blk);
+  EXPECT_EQ(c.rows(), prev);
+  EXPECT_EQ(c.cols(), blk);
+  // The block is now orthogonal to the previous basis.
+  for (int l = 0; l < prev; ++l) {
+    for (int j = prev; j < prev + blk; ++j) {
+      double acc = 0.0;
+      for (int d = 0; d < 3; ++d) {
+        acc += blas::dot(v.local_rows(d), v.col(d, l), v.col(d, j));
+      }
+      EXPECT_NEAR(acc, 0.0, 1e-10);
+    }
+  }
+  // And Q_prev * C + V_new == V_old (the projection is exact bookkeeping).
+  for (int d = 0; d < 3; ++d) {
+    for (int j = 0; j < blk; ++j) {
+      for (int i = 0; i < v.local_rows(d); ++i) {
+        double recon = v.col(d, prev + j)[i];
+        for (int l = 0; l < prev; ++l) recon += v.col(d, l)[i] * c(l, j);
+        EXPECT_NEAR(recon, before.col(d, prev + j)[i], 1e-10);
+      }
+    }
+  }
+}
+
+TEST(Borth, MgsMatchesCgsNumerically) {
+  const int n = 360, prev = 6, blk = 3;
+  Rng rng(92);
+  Machine m1(2), m2(2);
+  DistMultiVec v(split_rows(n, 2), prev + blk);
+  fill_random(v, rng);
+  tsqr(m1, Method::kCaqr, v, 0, prev);
+  DistMultiVec v_cgs = v, v_mgs = v;
+
+  const blas::DMat c1 = borth(m1, BorthMethod::kCgs, v_cgs, prev, prev + blk);
+  const blas::DMat c2 = borth(m2, BorthMethod::kMgs, v_mgs, prev, prev + blk);
+  for (int j = 0; j < blk; ++j) {
+    for (int l = 0; l < prev; ++l) EXPECT_NEAR(c1(l, j), c2(l, j), 1e-9);
+    for (int d = 0; d < 2; ++d) {
+      for (int i = 0; i < v.local_rows(d); ++i) {
+        EXPECT_NEAR(v_cgs.col(d, prev + j)[i], v_mgs.col(d, prev + j)[i],
+                    1e-9);
+      }
+    }
+  }
+  // Communication: MGS pays one reduction per previous column, CGS one.
+  EXPECT_GT(m2.counters().total_msgs(), m1.counters().total_msgs());
+}
+
+TEST(Borth, EmptyPreviousBasisIsNoop) {
+  Machine m(1);
+  Rng rng(93);
+  DistMultiVec v(split_rows(100, 1), 4);
+  fill_random(v, rng);
+  DistMultiVec v0 = v;
+  const blas::DMat c = borth(m, BorthMethod::kCgs, v, 0, 4);
+  EXPECT_EQ(c.rows(), 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v.col(0, 2)[i], v0.col(0, 2)[i]);
+}
+
+TEST(Metrics, ConditionNumberOfOrthonormalIsOne) {
+  Machine m(2);
+  Rng rng(94);
+  DistMultiVec v(split_rows(320, 2), 5);
+  fill_random(v, rng);
+  tsqr(m, Method::kCaqr, v, 0, 5);
+  EXPECT_NEAR(condition_number(v, 0, 5), 1.0, 1e-6);
+}
+
+TEST(Parse, MethodNames) {
+  EXPECT_EQ(parse_method("cholqr"), Method::kCholQr);
+  EXPECT_EQ(to_string(Method::kSvqr), "svqr");
+  EXPECT_THROW(parse_method("qr"), Error);
+  EXPECT_EQ(parse_borth("mgs"), BorthMethod::kMgs);
+  EXPECT_THROW(parse_borth("cholqr"), Error);
+}
+
+}  // namespace
+}  // namespace cagmres::ortho

@@ -1,0 +1,351 @@
+// Unit tests for the simulated multi-GPU runtime: clock semantics, the
+// performance model, counters, phase attribution, and the charged kernels.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "blas/blas1.hpp"
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+#include "sim/device_blas.hpp"
+#include "sim/machine.hpp"
+#include "sim/perf_model.hpp"
+#include "sparse/generators.hpp"
+
+namespace cagmres::sim {
+namespace {
+
+TEST(Clock, DevicesRunConcurrently) {
+  Clock c(3);
+  c.device_advance(0, 1.0);
+  c.device_advance(1, 2.0);
+  c.device_advance(2, 0.5);
+  // Concurrent devices: elapsed is the max, not the sum.
+  EXPECT_DOUBLE_EQ(c.elapsed(), 2.0);
+  EXPECT_DOUBLE_EQ(c.host_time(), 0.0);
+  c.host_wait_all();
+  EXPECT_DOUBLE_EQ(c.host_time(), 2.0);
+}
+
+TEST(Clock, KernelCannotStartBeforeHostPostsIt) {
+  Clock c(2);
+  c.host_advance(5.0);
+  c.device_advance(0, 1.0);  // posted at host time 5
+  EXPECT_DOUBLE_EQ(c.device_time(0), 6.0);
+  EXPECT_DOUBLE_EQ(c.device_time(1), 0.0);
+}
+
+TEST(Clock, SequentialKernelsOnOneDeviceQueue) {
+  Clock c(1);
+  c.device_advance(0, 1.0);
+  c.device_advance(0, 2.0);
+  EXPECT_DOUBLE_EQ(c.device_time(0), 3.0);
+}
+
+TEST(Clock, SyncAllAlignsEverything) {
+  Clock c(2);
+  c.device_advance(0, 3.0);
+  c.host_advance(1.0);
+  c.sync_all();
+  EXPECT_DOUBLE_EQ(c.host_time(), 3.0);
+  EXPECT_DOUBLE_EQ(c.device_time(0), 3.0);
+  EXPECT_DOUBLE_EQ(c.device_time(1), 3.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.elapsed(), 0.0);
+}
+
+TEST(Clock, DeviceWaitHost) {
+  Clock c(1);
+  c.host_advance(4.0);
+  c.device_wait_host(0);
+  EXPECT_DOUBLE_EQ(c.device_time(0), 4.0);
+}
+
+TEST(PerfModel, TransferIsLatencyPlusBandwidth) {
+  PerfModel pm;
+  const double t1 = pm.transfer_seconds(8.0);
+  const double t2 = pm.transfer_seconds(8e6);
+  EXPECT_NEAR(t1, pm.pcie_latency_s + 8.0 / pm.pcie_bw, 1e-12);
+  EXPECT_NEAR(t2 - t1, (8e6 - 8.0) / pm.pcie_bw, 1e-12);
+}
+
+TEST(PerfModel, OptimizedProfileSpeedsUpGemmAndGemv) {
+  PerfModel opt;
+  opt.profile = KernelProfile::kOptimized;
+  PerfModel std_prof;
+  std_prof.profile = KernelProfile::kStandard;
+  const double flops = 2.0 * 1e5 * 30 * 30;
+  const double bytes = 8.0 * 1e5 * 30;
+  EXPECT_LT(opt.device_seconds(Kernel::kGemm, flops, bytes),
+            std_prof.device_seconds(Kernel::kGemm, flops, bytes));
+  EXPECT_LT(opt.device_seconds(Kernel::kGemv, flops / 30, bytes),
+            std_prof.device_seconds(Kernel::kGemv, flops / 30, bytes));
+  // BLAS-1 is profile independent.
+  EXPECT_DOUBLE_EQ(opt.device_seconds(Kernel::kDot, 2e5, 16e5),
+                   std_prof.device_seconds(Kernel::kDot, 2e5, 16e5));
+}
+
+TEST(PerfModel, EffectiveRateRisesWithSize) {
+  // Fig. 11 shape: launch overhead dominates small inputs.
+  PerfModel pm;
+  auto rate = [&](double n) {
+    const double flops = 2.0 * n * 30 * 30;
+    return flops / pm.device_seconds(Kernel::kGemm, flops, 8.0 * n * 30);
+  };
+  EXPECT_LT(rate(1e3), rate(1e5));
+  EXPECT_LT(rate(1e5), rate(1e7));
+  EXPECT_LT(rate(1e7), pm.gemm_peak_opt);
+}
+
+TEST(Machine, ChargesAndCounters) {
+  Machine m(2);
+  m.charge_device(0, Kernel::kDot, 100.0, 800.0);
+  m.charge_device(1, Kernel::kDot, 50.0, 400.0);
+  m.d2h(0, 8.0);
+  m.h2d(1, 8.0);
+  m.charge_host(Kernel::kAxpy, 10.0, 80.0);
+  const Counters& c = m.counters();
+  EXPECT_DOUBLE_EQ(c.dev_flops[0], 100.0);
+  EXPECT_DOUBLE_EQ(c.dev_flops[1], 50.0);
+  EXPECT_EQ(c.dev_kernels[0], 1);
+  EXPECT_EQ(c.d2h_msgs, 1);
+  EXPECT_EQ(c.h2d_msgs, 1);
+  EXPECT_DOUBLE_EQ(c.host_flops, 10.0);
+  EXPECT_GT(m.clock().elapsed(), 0.0);
+
+  const Counters snap = c;
+  m.charge_device(0, Kernel::kAxpy, 30.0, 100.0);
+  const Counters diff = m.counters() - snap;
+  EXPECT_DOUBLE_EQ(diff.dev_flops[0], 30.0);
+  EXPECT_EQ(diff.d2h_msgs, 0);
+  EXPECT_DOUBLE_EQ(diff.total_dev_flops(), 30.0);
+}
+
+TEST(Machine, PhaseAttributionCoversElapsed) {
+  Machine m(2);
+  m.set_phase("alpha");
+  m.charge_device(0, Kernel::kDot, 1e6, 8e6);
+  m.host_wait_all();
+  m.set_phase("beta");
+  m.charge_host(Kernel::kAxpy, 1e6, 8e6);
+  m.set_phase("other");
+  const double total = m.phases().total();
+  EXPECT_NEAR(total, m.clock().elapsed(), 1e-12);
+  EXPECT_GT(m.phases().get("alpha"), 0.0);
+  EXPECT_GT(m.phases().get("beta"), 0.0);
+}
+
+TEST(Machine, ResetClearsEverything) {
+  Machine m(1);
+  m.charge_device(0, Kernel::kDot, 1.0, 8.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.clock().elapsed(), 0.0);
+  EXPECT_DOUBLE_EQ(m.counters().dev_flops[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.phases().total(), 0.0);
+}
+
+TEST(DistVec, ScatterGatherRoundTrip) {
+  DistVec v(std::vector<int>{3, 2, 4});
+  EXPECT_EQ(v.n_parts(), 3);
+  EXPECT_EQ(v.total_rows(), 9);
+  std::vector<double> x(9);
+  for (int i = 0; i < 9; ++i) x[static_cast<std::size_t>(i)] = i * 1.5;
+  v.assign_from_host(x);
+  EXPECT_DOUBLE_EQ(v.local(1)[0], 4.5);
+  EXPECT_EQ(v.to_host(), x);
+}
+
+TEST(DistMultiVec, LayoutAndColumnAccess) {
+  DistMultiVec v(std::vector<int>{4, 4}, 3);
+  EXPECT_EQ(v.cols(), 3);
+  EXPECT_EQ(v.total_rows(), 8);
+  v.col(1, 2)[3] = 42.0;
+  EXPECT_DOUBLE_EQ(v.local(1)(3, 2), 42.0);
+}
+
+TEST(DeviceBlas, NumericsMatchHostBlas) {
+  Machine m(1);
+  const int n = 101;
+  Rng rng(31);
+  std::vector<double> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n)), y2(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.normal();
+    y[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  y2 = y;
+  const double d = dev_dot(m, 0, n, x.data(), y.data());
+  EXPECT_NEAR(d, blas::dot(n, x.data(), y.data()), 1e-12);
+  dev_axpy(m, 0, n, 0.5, x.data(), y.data());
+  blas::axpy(n, 0.5, x.data(), y2.data());
+  for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(m.counters().dev_kernels[0], 2);
+}
+
+TEST(DeviceBlas, PackUnpackGatherScatter) {
+  Machine m(1);
+  std::vector<double> x = {10, 20, 30, 40, 50};
+  std::vector<int> idx = {4, 0, 2};
+  std::vector<double> out(3);
+  dev_pack(m, 0, idx, x.data(), out.data());
+  EXPECT_DOUBLE_EQ(out[0], 50);
+  EXPECT_DOUBLE_EQ(out[1], 10);
+  EXPECT_DOUBLE_EQ(out[2], 30);
+  std::vector<double> in = {-1, -2, -3};
+  dev_unpack(m, 0, idx, in.data(), x.data());
+  EXPECT_DOUBLE_EQ(x[4], -1);
+  EXPECT_DOUBLE_EQ(x[0], -2);
+  EXPECT_DOUBLE_EQ(x[2], -3);
+  EXPECT_DOUBLE_EQ(x[1], 20);
+}
+
+TEST(DeviceBlas, SpmvEllChargesAndComputes) {
+  Machine m(1);
+  const auto a = sparse::make_laplace2d(6, 6);
+  const auto e = sparse::to_ell(a);
+  const int n = a.n_rows;
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0), y1(static_cast<std::size_t>(n)), y2(static_cast<std::size_t>(n));
+  dev_spmv_ell(m, 0, e, x.data(), y1.data());
+  sparse::spmv(a, x.data(), y2.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(y1[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)], 1e-13);
+  EXPECT_GT(m.clock().device_time(0), 0.0);
+}
+
+TEST(Machine, PerKernelCountersBreakDownTheWork) {
+  Machine m(2);
+  m.charge_device(0, Kernel::kGemm, 1e6, 8e4);
+  m.charge_device(1, Kernel::kGemm, 2e6, 8e4);
+  m.charge_device(0, Kernel::kDot, 2e3, 16e3);
+  const auto& c = m.counters();
+  const auto gi = static_cast<std::size_t>(kernel_index(Kernel::kGemm));
+  const auto di = static_cast<std::size_t>(kernel_index(Kernel::kDot));
+  EXPECT_DOUBLE_EQ(c.kernel_flops[gi], 3e6);
+  EXPECT_EQ(c.kernel_count[gi], 2);
+  EXPECT_GT(c.kernel_seconds[gi], 0.0);
+  EXPECT_EQ(c.kernel_count[di], 1);
+  // Per-kernel flops sum to the per-device totals.
+  double per_kernel = 0.0;
+  for (const double f : c.kernel_flops) per_kernel += f;
+  EXPECT_DOUBLE_EQ(per_kernel, c.total_dev_flops());
+  // Snapshot diff covers the arrays too.
+  const Counters snap = c;
+  m.charge_device(0, Kernel::kGemm, 5e5, 8e3);
+  EXPECT_DOUBLE_EQ((m.counters() - snap).kernel_flops[gi], 5e5);
+}
+
+TEST(TraceTest, RecordsChargedOperationsWithPhases) {
+  Machine m(2);
+  m.enable_trace();
+  m.set_phase("alpha");
+  m.charge_device(0, Kernel::kDot, 2e5, 16e5);
+  m.d2h(0, 8.0);
+  m.set_phase("beta");
+  m.charge_host(Kernel::kAxpy, 1e5, 8e5);
+  const auto& ev = m.trace().events();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].device, 0);
+  EXPECT_EQ(ev[0].name, "dot");
+  EXPECT_EQ(ev[0].phase, "alpha");
+  EXPECT_LT(ev[0].t_start, ev[0].t_end);
+  EXPECT_EQ(ev[1].name, "d2h");
+  EXPECT_GE(ev[1].t_start, ev[0].t_end - 1e-15);  // queued after the kernel
+  EXPECT_EQ(ev[2].device, -1);
+  EXPECT_EQ(ev[2].phase, "beta");
+  m.reset();
+  EXPECT_TRUE(m.trace().events().empty());
+}
+
+TEST(TraceTest, DisabledByDefaultAndJsonWellFormed) {
+  Machine m(1);
+  m.charge_device(0, Kernel::kAxpy, 1.0, 8.0);
+  EXPECT_TRUE(m.trace().events().empty());
+
+  m.enable_trace();
+  m.charge_device(0, Kernel::kGemm, 1e6, 8e5);
+  m.d2h(0, 64.0);
+  std::ostringstream os;
+  m.trace().write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"d2h\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness proxy).
+  long brace = 0, bracket = 0;
+  for (const char c : json) {
+    brace += (c == '{') - (c == '}');
+    bracket += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+}
+
+TEST(TraceTest, KernelNamesCoverAllClasses) {
+  for (const Kernel k :
+       {Kernel::kDot, Kernel::kAxpy, Kernel::kScal, Kernel::kCopy,
+        Kernel::kGemv, Kernel::kGemm, Kernel::kTrsm, Kernel::kGeqrf,
+        Kernel::kSpmvEll, Kernel::kSpmvCsr, Kernel::kPack, Kernel::kSmall}) {
+    EXPECT_NE(kernel_name(k), "?");
+  }
+}
+
+TEST(Topology, NodeMappingAndRemoteness) {
+  Machine m(Topology{2, 3});
+  EXPECT_EQ(m.n_devices(), 6);
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(2), 0);
+  EXPECT_EQ(m.node_of(3), 1);
+  EXPECT_FALSE(m.is_remote(1));
+  EXPECT_TRUE(m.is_remote(5));
+  // Single-node ctor: nothing is remote.
+  Machine s(3);
+  EXPECT_FALSE(s.is_remote(2));
+  EXPECT_EQ(s.topology().n_nodes, 1);
+}
+
+TEST(Topology, RemoteTransfersPayTheNetworkHop) {
+  const PerfModel pm;
+  Machine m(Topology{2, 1});
+  m.d2h(0, 800.0);  // local
+  m.d2h(1, 800.0);  // remote
+  EXPECT_NEAR(m.clock().device_time(0), pm.transfer_seconds(800.0), 1e-15);
+  EXPECT_NEAR(m.clock().device_time(1),
+              pm.transfer_seconds(800.0) + pm.net_seconds(800.0), 1e-15);
+  EXPECT_EQ(m.counters().net_msgs, 1);
+  EXPECT_DOUBLE_EQ(m.counters().net_bytes, 800.0);
+  m.h2d(1, 8.0);
+  EXPECT_EQ(m.counters().net_msgs, 2);
+}
+
+TEST(Topology, ReductionSlowerAcrossNodesThanWithin) {
+  // Same device count, different placement: the all-to-root reduction is
+  // strictly slower when half the devices are remote.
+  auto reduction_time = [](Topology t) {
+    Machine m(t);
+    for (int d = 0; d < m.n_devices(); ++d) m.d2h(d, 8.0);
+    m.host_wait_all();
+    return m.clock().elapsed();
+  };
+  EXPECT_LT(reduction_time(Topology{1, 4}), reduction_time(Topology{2, 2}));
+}
+
+TEST(DeviceBlas, ReductionPatternTiming) {
+  // A scalar all-reduce (dot) across 3 devices should cost roughly:
+  // dot kernel + D2H latency (concurrent) + host add + (broadcast H2D).
+  Machine m(3);
+  const PerfModel& pm = m.perf();
+  const int n = 1000;
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  for (int d = 0; d < 3; ++d) dev_dot(m, d, n, x.data(), x.data());
+  for (int d = 0; d < 3; ++d) m.d2h(d, 8.0);
+  m.host_wait_all();
+  const double t = m.clock().elapsed();
+  const double kernel = pm.device_seconds(Kernel::kDot, 2.0 * n, 16.0 * n);
+  const double xfer = pm.transfer_seconds(8.0);
+  // Concurrent devices: one kernel + one transfer, NOT three of each.
+  EXPECT_NEAR(t, kernel + xfer, 1e-9);
+}
+
+}  // namespace
+}  // namespace cagmres::sim

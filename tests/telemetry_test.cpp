@@ -1,0 +1,147 @@
+// Telemetry consistency tests: the solver statistics, phase attribution,
+// per-kernel counters, and traces must all tell the same story about one
+// solve.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/cagmres.hpp"
+#include "core/gmres.hpp"
+#include "core/solver_common.hpp"
+#include "sim/machine.hpp"
+#include "sparse/generators.hpp"
+
+namespace cagmres {
+namespace {
+
+core::Problem small_problem(int ng) {
+  static const sparse::CsrMatrix a = sparse::make_laplace2d(18, 16, 0.2, 0.2);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  return core::make_problem(a, b, ng, graph::Ordering::kNatural, true, 1);
+}
+
+TEST(Telemetry, BlockSizesAccountForEveryCaIteration) {
+  const core::Problem p = small_problem(2);
+  sim::Machine machine(2);
+  core::SolverOptions opts;
+  opts.m = 18;
+  opts.s = 5;
+  opts.tol = 1e-8;
+  opts.basis = core::Basis::kMonomial;  // every restart is a CA cycle
+  const core::SolveResult res = core::ca_gmres(machine, p, opts);
+  ASSERT_TRUE(res.stats.converged);
+  const int sum = std::accumulate(res.stats.block_sizes.begin(),
+                                  res.stats.block_sizes.end(), 0);
+  EXPECT_EQ(sum, res.stats.iterations);
+}
+
+TEST(Telemetry, TsqrErrorSamplesMatchBlockAndReorthCounts) {
+  const core::Problem p = small_problem(1);
+  sim::Machine machine(1);
+  core::SolverOptions opts;
+  opts.m = 12;
+  opts.s = 4;
+  opts.basis = core::Basis::kMonomial;
+  opts.reorthogonalize = true;
+  opts.collect_tsqr_errors = true;
+  opts.max_restarts = 4;
+  const core::SolveResult res = core::ca_gmres(machine, p, opts);
+  // Every block produces one pass-0 sample; every reorthogonalized block
+  // one pass-1 sample.
+  int pass0 = 0, pass1 = 0;
+  for (const auto& e : res.stats.tsqr_errors) {
+    (e.pass == 0 ? pass0 : pass1) += 1;
+    EXPECT_GE(e.restart, 0);
+    EXPECT_GT(e.kappa_block, 0.0);
+  }
+  EXPECT_EQ(pass0, static_cast<int>(res.stats.block_sizes.size()));
+  EXPECT_EQ(pass1, res.stats.reorth_blocks);
+}
+
+TEST(Telemetry, ResidualHistoryHasOneEntryPerRestartTop) {
+  const core::Problem p = small_problem(1);
+  sim::Machine machine(1);
+  core::SolverOptions opts;
+  opts.m = 6;
+  opts.tol = 1e-8;
+  opts.max_restarts = 100;
+  const core::SolveResult res = core::gmres(machine, p, opts);
+  ASSERT_TRUE(res.stats.converged);
+  // One residual per executed restart plus the final (converged) check.
+  EXPECT_EQ(static_cast<int>(res.stats.residual_history.size()),
+            res.stats.restarts + 1);
+  EXPECT_DOUBLE_EQ(res.stats.residual_history.front(),
+                   res.stats.initial_residual);
+}
+
+TEST(Telemetry, TraceBusyTimeMatchesKernelSeconds) {
+  const core::Problem p = small_problem(2);
+  sim::Machine machine(2);
+  machine.enable_trace();
+  core::SolverOptions opts;
+  opts.m = 10;
+  opts.max_restarts = 2;
+  core::gmres(machine, p, opts);
+
+  // Sum of traced device kernel durations (excluding transfers) must equal
+  // the per-kernel counter seconds.
+  double traced = 0.0;
+  for (const auto& e : machine.trace().events()) {
+    if (e.device >= 0 && e.name != "d2h" && e.name != "h2d") {
+      traced += e.t_end - e.t_start;
+    }
+  }
+  double counted = 0.0;
+  for (const double s : machine.counters().kernel_seconds) counted += s;
+  EXPECT_NEAR(traced, counted, 1e-12 + 1e-9 * counted);
+}
+
+TEST(Telemetry, TraceShowsDeviceConcurrency) {
+  // Two devices must actually overlap in simulated time (the concurrency
+  // the Clock models is visible in the trace).
+  const core::Problem p = small_problem(2);
+  sim::Machine machine(2);
+  machine.enable_trace();
+  core::SolverOptions opts;
+  opts.m = 8;
+  opts.max_restarts = 1;
+  core::gmres(machine, p, opts);
+
+  bool overlap = false;
+  const auto& ev = machine.trace().events();
+  for (std::size_t i = 0; i < ev.size() && !overlap; ++i) {
+    if (ev[i].device != 0) continue;
+    for (std::size_t j = 0; j < ev.size(); ++j) {
+      if (ev[j].device != 1) continue;
+      if (ev[i].t_start < ev[j].t_end && ev[j].t_start < ev[i].t_end) {
+        overlap = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(overlap);
+}
+
+TEST(Telemetry, PhaseBucketsArePositiveWhereExpected) {
+  const core::Problem p = small_problem(3);
+  sim::Machine machine(3);
+  core::SolverOptions opts;
+  opts.m = 12;
+  opts.s = 4;
+  opts.basis = core::Basis::kNewton;
+  opts.tol = 1e-10;  // force several restarts past the shift harvest
+  const core::SolveResult res = core::ca_gmres(machine, p, opts);
+  const auto& st = res.stats;
+  // Newton basis: the harvest restart uses per-iteration Orth; CA cycles
+  // use BOrth+TSQR+MPK. All four buckets must be populated.
+  EXPECT_GT(st.time_orth, 0.0);
+  EXPECT_GT(st.time_borth, 0.0);
+  EXPECT_GT(st.time_tsqr, 0.0);
+  EXPECT_GT(st.time_mpk, 0.0);
+  EXPECT_GT(st.time_spmv, 0.0);
+}
+
+}  // namespace
+}  // namespace cagmres
