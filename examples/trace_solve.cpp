@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   opts.add("s", "10", "CA-GMRES block size");
   opts.add("m", "40", "restart length");
   opts.add("max_restarts", "3", "restart cap (keeps the trace readable)");
+  opts.add("faults", "",
+           "fault schedule, e.g. \"seed=42;kill:d1@t=5ms;nan:p=0.001;"
+           "corrupt:p=0.01\" (kinds: kill nan corrupt stall; one-shot "
+           "triggers d<i>|*@t=<time>|op=<n>, rates kind:p=<prob>)");
   if (!opts.parse(argc, argv)) return 0;
 
   const sparse::CsrMatrix a = sparse::make_cant_like(0.5);
@@ -33,6 +37,9 @@ int main(int argc, char** argv) {
 
   sim::Machine machine(ng);
   machine.enable_trace();
+  if (!opts.get("faults").empty()) {
+    sim::parse_fault_spec(opts.get("faults"), machine.fault_injector());
+  }
   core::SolverOptions so;
   so.m = opts.get_int("m");
   so.s = opts.get_int("s");
@@ -47,6 +54,28 @@ int main(int argc, char** argv) {
       res.stats.restarts, opts.get("out").c_str());
   std::printf("open chrome://tracing or ui.perfetto.dev and load the file;\n"
               "tid 0 is the host, tid 1..%d are the GPUs.\n\n", ng);
+
+  // With --faults, every injection appears as an instant event on the
+  // victim's timeline ("fault:kill", "fault:nan", ...) and the recovery
+  // work the solver did shows up here and in the trace.
+  const auto& rec = res.stats.recovery;
+  if (machine.faults_armed()) {
+    std::printf("faults injected: %lld (%d device failures, %lld NaN "
+                "kernels, %lld corrupt + %lld stalled transfers)\n",
+                static_cast<long long>(rec.faults_injected),
+                rec.device_failures,
+                static_cast<long long>(rec.kernel_faults),
+                static_cast<long long>(rec.transfer_corruptions),
+                static_cast<long long>(rec.transfer_stalls));
+    std::printf("recovery: %lld transfer retries, %d block replays, %d "
+                "rollbacks, %d repartitions, %.3f ms simulated time lost; "
+                "%d of %d devices still alive, converged=%s\n\n",
+                static_cast<long long>(rec.transfer_retries),
+                rec.blocks_replayed, rec.rollbacks, rec.repartitions,
+                rec.time_lost * 1e3, machine.n_devices(),
+                machine.n_physical_devices(),
+                res.stats.converged ? "yes" : "no");
+  }
 
   // Per-kernel-class breakdown of the device work (the counters behind the
   // trace): effective rate = flops / simulated kernel time.

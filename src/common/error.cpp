@@ -2,14 +2,31 @@
 
 #include <sstream>
 
-namespace cagmres::detail {
+namespace cagmres {
+
+std::string to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadInput:
+      return "bad_input";
+    case ErrorCode::kBreakdown:
+      return "breakdown";
+    case ErrorCode::kDeviceFault:
+      return "device_fault";
+    case ErrorCode::kRetriesExhausted:
+      return "retries_exhausted";
+  }
+  return "?";
+}
+
+namespace detail {
 
 void fail(const char* cond, const char* file, int line,
-          const std::string& msg) {
+          const std::string& msg, ErrorCode code) {
   std::ostringstream os;
   os << file << ":" << line << ": check failed: " << cond;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(os.str(), code);
 }
 
-}  // namespace cagmres::detail
+}  // namespace detail
+}  // namespace cagmres

@@ -4,6 +4,11 @@
 // unrecoverable numerical failures (e.g. Cholesky breakdown when the caller
 // disabled the fallback path). Hot loops use CAGMRES_ASSERT, which compiles
 // away in NDEBUG builds; API boundaries use CAGMRES_REQUIRE, which does not.
+//
+// Every Error carries an ErrorCode so callers can tell programmer error
+// (kBadInput — fix the call site) from recoverable numerical or runtime
+// failures (kBreakdown / kDeviceFault / kRetriesExhausted — the resilient
+// solver paths catch these and degrade gracefully).
 #pragma once
 
 #include <stdexcept>
@@ -11,15 +16,38 @@
 
 namespace cagmres {
 
+/// Classification of a thrown Error.
+enum class ErrorCode {
+  kBadInput,          ///< precondition violation: caller bug, never caught
+  kBreakdown,         ///< numerical breakdown (rank loss, failed Cholesky)
+  kDeviceFault,       ///< a simulated device failed permanently
+  kRetriesExhausted,  ///< bounded retry/replay loop gave up
+};
+
+std::string to_string(ErrorCode code);
+
 /// Exception type thrown on precondition violations and numerical failures.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kBadInput, int device = -1)
+      : std::runtime_error(what), code_(code), device_(device) {}
+
+  ErrorCode code() const { return code_; }
+
+  /// Logical device the fault concerns (kDeviceFault / kRetriesExhausted
+  /// raised by the simulated machine); -1 when not device-specific.
+  int device() const { return device_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kBadInput;
+  int device_ = -1;
 };
 
 namespace detail {
 [[noreturn]] void fail(const char* cond, const char* file, int line,
-                       const std::string& msg);
+                       const std::string& msg,
+                       ErrorCode code = ErrorCode::kBadInput);
 }  // namespace detail
 
 }  // namespace cagmres
@@ -28,6 +56,14 @@ namespace detail {
 #define CAGMRES_REQUIRE(cond, msg)                                    \
   do {                                                                \
     if (!(cond)) ::cagmres::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Always-on check that throws with an explicit ErrorCode, so recoverable
+/// numerical/runtime failures are distinguishable from kBadInput.
+#define CAGMRES_REQUIRE_CODE(cond, code, msg)                        \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::cagmres::detail::fail(#cond, __FILE__, __LINE__, (msg), (code)); \
   } while (0)
 
 /// Debug-only check for internal invariants on hot paths.

@@ -62,6 +62,17 @@ void merge_reorth(blas::DMat& c, const blas::DMat& c2, blas::DMat& r_block,
   r_block = std::move(merged);
 }
 
+/// Host-side part of the block health scrub: the BOrth/TSQR coefficient
+/// factors live on the host, so scanning them is free.
+bool mat_finite(const blas::DMat& m) {
+  for (int j = 0; j < m.cols(); ++j) {
+    for (int i = 0; i < m.rows(); ++i) {
+      if (!std::isfinite(m(i, j))) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
@@ -69,24 +80,31 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   CAGMRES_REQUIRE(problem.n_devices() == machine.n_devices(),
                   "problem/machine device count mismatch");
   CAGMRES_REQUIRE(opts.m >= 1 && opts.s >= 1, "bad (s, m)");
-  const int ng = machine.n_devices();
   const int mm = opts.m;
   const int s = std::min(opts.s, mm);
-  const std::vector<int> rows = problem.rows_per_device();
+  const bool resilient = machine.faults_armed();
+  const sim::FaultStats faults0 = machine.fault_injector().stats();
+  std::vector<int> rows = problem.rows_per_device();
 
-  const mpk::MpkPlan plan1 = mpk::build_mpk_plan(problem.a, problem.offsets, 1);
-  mpk::MpkExecutor spmv(plan1);
-  mpk::MpkPlan plan_s;
+  // Owned repartitioned copy after a device loss; `prob` always points at
+  // the problem currently mapped onto the machine.
+  Problem repart;
+  const Problem* prob = &problem;
+  auto plan1 = std::make_unique<mpk::MpkPlan>(
+      mpk::build_mpk_plan(prob->a, prob->offsets, 1));
+  auto spmv = std::make_unique<mpk::MpkExecutor>(*plan1);
+  std::unique_ptr<mpk::MpkPlan> plan_s;
   std::unique_ptr<mpk::MpkExecutor> mpk_exec;
   if (opts.use_mpk && s > 1) {
-    plan_s = mpk::build_mpk_plan(problem.a, problem.offsets, s);
-    mpk_exec = std::make_unique<mpk::MpkExecutor>(plan_s);
+    plan_s = std::make_unique<mpk::MpkPlan>(
+        mpk::build_mpk_plan(prob->a, prob->offsets, s));
+    mpk_exec = std::make_unique<mpk::MpkExecutor>(*plan_s);
   }
 
   sim::DistMultiVec v(rows, mm + 1);
   sim::DistMultiVec xwork(rows, 2);
   sim::DistVec b(rows);
-  b.assign_from_host(problem.b);
+  b.assign_from_host(prob->b);
 
   SolveResult result;
   SolveStats& st = result.stats;
@@ -106,185 +124,330 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   int s_current = s;
   int clean_streak = 0;
 
+  // Restart = checkpoint: the last solution whose residual was proven
+  // finite, in prepared row order (valid across repartitions).
+  std::vector<double> x_ckpt;
+  bool x_ckpt_zero = true;
+  if (resilient) x_ckpt.assign(static_cast<std::size_t>(prob->n()), 0.0);
+  bool x_is_zero = true;   // x == 0 exactly (first residual is just b)
+  bool needs_rebuild = false;
+  int tainted_rollbacks = 0;  // consecutive, reset by a completed restart
+
   double res = 0.0;
-  for (int restart = 0; restart < opts.max_restarts; ++restart) {
-    res = detail::compute_residual(machine, spmv, b, xwork, v, 0,
-                                   restart == 0);
-    if (restart == 0) {
-      st.initial_residual = res;
-      if (res == 0.0) {
+  int restart = 0;
+  while (restart < opts.max_restarts) {
+    try {
+      if (needs_rebuild) {
+        // A device was retired: re-split the prepared problem over the
+        // survivors, rebuild the distributed state and both MPK plans, and
+        // resume from the last checkpoint. Redistribution is charged.
+        const double t_reb = machine.clock().elapsed();
+        repart = repartition_problem(*prob, machine.n_devices());
+        prob = &repart;
+        rows = prob->rows_per_device();
+        plan1 = std::make_unique<mpk::MpkPlan>(
+            mpk::build_mpk_plan(prob->a, prob->offsets, 1));
+        spmv = std::make_unique<mpk::MpkExecutor>(*plan1);
+        if (opts.use_mpk && s > 1) {
+          plan_s = std::make_unique<mpk::MpkPlan>(
+              mpk::build_mpk_plan(prob->a, prob->offsets, s));
+          mpk_exec = std::make_unique<mpk::MpkExecutor>(*plan_s);
+        }
+        v = sim::DistMultiVec(rows, mm + 1);
+        xwork = sim::DistMultiVec(rows, 2);
+        b = sim::DistVec(rows);
+        b.assign_from_host(prob->b);
+        detail::charge_redistribution(machine, *prob);
+        detail::restore_x(machine, xwork, x_ckpt);
+        x_is_zero = x_ckpt_zero;
+        ++st.recovery.repartitions;
+        ++st.recovery.rollbacks;
+        st.recovery.time_lost += machine.clock().elapsed() - t_reb;
+        needs_rebuild = false;
+      }
+      const int ng = machine.n_devices();
+
+      res = detail::compute_residual(machine, *spmv, b, xwork, v, 0,
+                                     x_is_zero);
+      if (resilient) {
+        // A finite ||b - A x|| proves x is poison-free; a non-finite one
+        // means NaN leaked into x (or this residual evaluation), so roll
+        // back to the checkpoint and recompute.
+        int attempts = 0;
+        while (!std::isfinite(res)) {
+          CAGMRES_REQUIRE_CODE(++attempts <= opts.max_block_replays,
+                               ErrorCode::kRetriesExhausted,
+                               "residual stayed non-finite across rollbacks");
+          const double t_rb = machine.clock().elapsed();
+          detail::restore_x(machine, xwork, x_ckpt);
+          x_is_zero = x_ckpt_zero;
+          ++st.recovery.rollbacks;
+          res = detail::compute_residual(machine, *spmv, b, xwork, v, 0,
+                                         x_is_zero);
+          st.recovery.time_lost += machine.clock().elapsed() - t_rb;
+        }
+        x_ckpt = detail::checkpoint_x(machine, xwork);
+        x_ckpt_zero = x_is_zero;
+      }
+      if (restart == 0) {
+        st.initial_residual = res;
+        if (res == 0.0) {
+          st.converged = true;
+          break;
+        }
+      }
+      st.residual_history.push_back(res);
+      if (res <= opts.tol * st.initial_residual) {
         st.converged = true;
         break;
       }
-    }
-    st.residual_history.push_back(res);
-    if (res <= opts.tol * st.initial_residual) {
-      st.converged = true;
-      break;
-    }
-    for (int d = 0; d < ng; ++d) {
-      sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
-    }
-
-    if (!have_shifts) {
-      // First restart: standard GMRES cycle, then harvest Ritz values.
-      detail::CycleOutcome cycle =
-          detail::arnoldi_cycle(machine, spmv, v, mm, opts.gmres_orth, res,
-                                opts.tol * st.initial_residual);
-      detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
-      st.iterations += cycle.k;
-      ++st.restarts;
-      blas::DMat h_sq(cycle.k, cycle.k);
-      for (int j = 0; j < cycle.k; ++j) {
-        for (int i = 0; i < cycle.k; ++i) h_sq(i, j) = cycle.h(i, j);
-      }
-      step_shifts = newton_shifts(blas::hessenberg_eig(h_sq), s);
-      machine.charge_host(sim::Kernel::kGeqrf,
-                          10.0 * static_cast<double>(cycle.k) * cycle.k *
-                              cycle.k,
-                          0.0);
-      have_shifts = true;
-      continue;
-    }
-
-    // --- CA restart cycle ---
-    blas::DMat r_total(mm + 1, mm + 1);
-    r_total(0, 0) = 1.0;  // g_0 = q_0
-    Shifts col_shifts;
-    col_shifts.re.assign(static_cast<std::size_t>(mm), 0.0);
-    col_shifts.im.assign(static_cast<std::size_t>(mm), 0.0);
-    // Columns where a block's recursion restarted from the orthonormalized
-    // vector (see hessenberg_blocked).
-    std::vector<char> is_block_start(static_cast<std::size_t>(mm) + 1, 0);
-    is_block_start[0] = 1;
-
-    int done = 1;
-    bool cycle_converged = false;
-    while (done < mm + 1) {
-      const int steps =
-          std::min(opts.adaptive_s ? s_current : s, mm + 1 - done);
-      st.block_sizes.push_back(steps);
-      is_block_start[static_cast<std::size_t>(done) - 1] = 1;
-      const Shifts bs = block_shifts(step_shifts, steps);
-      for (int i = 0; i < steps; ++i) {
-        col_shifts.re[static_cast<std::size_t>(done - 1 + i)] =
-            bs.re[static_cast<std::size_t>(i)];
-        col_shifts.im[static_cast<std::size_t>(done - 1 + i)] =
-            bs.im[static_cast<std::size_t>(i)];
-      }
-      if (mpk_exec != nullptr && steps > 1) {
-        mpk_exec->apply(machine, v, done - 1, steps,
-                        {bs.re.data(), bs.im.data()});
-      } else {
-        generate_by_spmv(machine, spmv, v, done - 1, steps, bs);
+      for (int d = 0; d < ng; ++d) {
+        sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
       }
 
-      // Snapshot of the block (pre-TSQR, post-BOrth) for error
-      // instrumentation; untouched simulated clock (measurement only).
-      auto snapshot_block = [&]() {
-        sim::DistMultiVec snap(rows, steps);
-        for (int d = 0; d < ng; ++d) {
-          for (int i = 0; i < steps; ++i) {
-            blas::copy(v.local_rows(d), v.col(d, done + i), snap.col(d, i));
+      if (!have_shifts) {
+        // First restart: standard GMRES cycle, then harvest Ritz values.
+        detail::CycleOutcome cycle = detail::arnoldi_cycle(
+            machine, *spmv, v, mm, opts.gmres_orth, res,
+            opts.tol * st.initial_residual,
+            resilient ? opts.max_block_replays : 0);
+        st.recovery.blocks_replayed += cycle.replays;
+        detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
+        if (cycle.k > 0) x_is_zero = false;
+        st.iterations += cycle.k;
+        ++st.restarts;
+        ++restart;
+        if (cycle.k == 0) continue;  // poisoned cycle: retry next restart
+        blas::DMat h_sq(cycle.k, cycle.k);
+        for (int j = 0; j < cycle.k; ++j) {
+          for (int i = 0; i < cycle.k; ++i) h_sq(i, j) = cycle.h(i, j);
+        }
+        step_shifts = newton_shifts(blas::hessenberg_eig(h_sq), s);
+        machine.charge_host(sim::Kernel::kGeqrf,
+                            10.0 * static_cast<double>(cycle.k) * cycle.k *
+                                cycle.k,
+                            0.0);
+        have_shifts = true;
+        continue;
+      }
+
+      // --- CA restart cycle ---
+      blas::DMat r_total(mm + 1, mm + 1);
+      r_total(0, 0) = 1.0;  // g_0 = q_0
+      Shifts col_shifts;
+      col_shifts.re.assign(static_cast<std::size_t>(mm), 0.0);
+      col_shifts.im.assign(static_cast<std::size_t>(mm), 0.0);
+      // Columns where a block's recursion restarted from the orthonormalized
+      // vector (see hessenberg_blocked).
+      std::vector<char> is_block_start(static_cast<std::size_t>(mm) + 1, 0);
+      is_block_start[0] = 1;
+
+      int done = 1;
+      bool cycle_converged = false;
+      bool cycle_tainted = false;
+      while (done < mm + 1) {
+        const int steps =
+            std::min(opts.adaptive_s ? s_current : s, mm + 1 - done);
+        is_block_start[static_cast<std::size_t>(done) - 1] = 1;
+        const Shifts bs = block_shifts(step_shifts, steps);
+        for (int i = 0; i < steps; ++i) {
+          col_shifts.re[static_cast<std::size_t>(done - 1 + i)] =
+              bs.re[static_cast<std::size_t>(i)];
+          col_shifts.im[static_cast<std::size_t>(done - 1 + i)] =
+              bs.im[static_cast<std::size_t>(i)];
+        }
+
+        // Snapshot of the block (pre-TSQR, post-BOrth) for error
+        // instrumentation; untouched simulated clock (measurement only).
+        auto snapshot_block = [&]() {
+          sim::DistMultiVec snap(rows, steps);
+          for (int d = 0; d < ng; ++d) {
+            for (int i = 0; i < steps; ++i) {
+              blas::copy(v.local_rows(d), v.col(d, done + i), snap.col(d, i));
+            }
+          }
+          return snap;
+        };
+        auto record_errors = [&](const sim::DistMultiVec& before,
+                                 const blas::DMat& r_blk, int pass) {
+          TsqrErrorSample sample;
+          sample.restart = restart;
+          sample.pass = pass;
+          sample.kappa_block = ortho::condition_number(before, 0, steps);
+          sim::DistMultiVec after = snapshot_block();
+          sample.errors = ortho::measure_errors(after, before, 0, steps, r_blk);
+          st.tsqr_errors.push_back(sample);
+        };
+
+        blas::DMat c;
+        ortho::TsqrResult tq;
+        bool block_reorthed = false;
+        int attempts = 0;
+        const std::size_t tsqr_errors_mark = st.tsqr_errors.size();
+        // Block replay loop: generation fully rewrites columns
+        // done..done+steps from the accepted column done-1, so a block the
+        // health scrub rejects can simply be re-run.
+        while (true) {
+          st.tsqr_errors.resize(tsqr_errors_mark);  // drop replayed samples
+          try {
+            if (mpk_exec != nullptr && steps > 1) {
+              mpk_exec->apply(machine, v, done - 1, steps,
+                              {bs.re.data(), bs.im.data()});
+            } else {
+              generate_by_spmv(machine, *spmv, v, done - 1, steps, bs);
+            }
+
+            {
+              sim::PhaseScope phase(machine, "borth");
+              c = ortho::borth(machine, opts.borth, v, done, done + steps);
+            }
+            sim::DistMultiVec pre_tsqr;
+            if (opts.collect_tsqr_errors) pre_tsqr = snapshot_block();
+            {
+              sim::PhaseScope phase(machine, "tsqr");
+              tq = ortho::tsqr(machine, opts.tsqr, v, done, done + steps,
+                               opts.tsqr_opts);
+            }
+            if (opts.collect_tsqr_errors) record_errors(pre_tsqr, tq.r, 0);
+            block_reorthed = opts.reorthogonalize ||
+                             (tq.breakdown && opts.reorth_on_breakdown);
+            if (block_reorthed) {
+              blas::DMat c2;
+              {
+                sim::PhaseScope phase(machine, "borth");
+                c2 = ortho::borth(machine, opts.borth, v, done, done + steps);
+              }
+              if (opts.collect_tsqr_errors) pre_tsqr = snapshot_block();
+              ortho::TsqrResult tq2;
+              {
+                sim::PhaseScope phase(machine, "tsqr");
+                tq2 = ortho::tsqr(machine, opts.tsqr, v, done, done + steps,
+                                  opts.tsqr_opts);
+              }
+              if (opts.collect_tsqr_errors) record_errors(pre_tsqr, tq2.r, 1);
+              merge_reorth(c, c2, tq.r, tq2.r);
+              machine.charge_host(sim::Kernel::kGemm,
+                                  2.0 * static_cast<double>(done) * steps *
+                                      steps,
+                                  0.0);
+            }
+          } catch (const Error& e) {
+            // A poisoned block can surface as a (shift-proof) TSQR
+            // breakdown before the scrub sees it — e.g. an injected NaN in
+            // the Gram kernel itself. Treat it like a failed health check:
+            // the replay regenerates everything from the last accepted
+            // column. A breakdown on an unarmed machine still propagates.
+            if (!resilient || e.code() != ErrorCode::kBreakdown) throw;
+            ++st.recovery.blocks_replayed;
+            if (++attempts > opts.max_block_replays) {
+              cycle_tainted = true;  // escalate to a cycle rollback
+              break;
+            }
+            continue;
+          }
+
+          if (resilient) {
+            // Block-boundary health scrub: the host-side factors are free
+            // to scan; the device panel gets one charged norm-per-column
+            // checksum pass.
+            const double t_scrub = machine.clock().elapsed();
+            const bool clean =
+                mat_finite(c) && mat_finite(tq.r) &&
+                ortho::block_norms_finite(machine, v, done, done + steps);
+            if (!clean) {
+              ++st.recovery.blocks_replayed;
+              st.recovery.time_lost += machine.clock().elapsed() - t_scrub;
+              if (++attempts > opts.max_block_replays) {
+                cycle_tainted = true;  // escalate to a cycle rollback
+                break;
+              }
+              continue;
+            }
+          }
+          break;
+        }
+        if (cycle_tainted) break;
+
+        // Commit the accepted block: bookkeeping that must not see
+        // discarded (replayed) attempts.
+        st.block_sizes.push_back(steps);
+        st.block_breakdowns.push_back(tq.breakdown ? 1 : 0);
+        if (tq.breakdown) ++st.cholqr_breakdowns;
+        if (opts.adaptive_s) {
+          if (tq.breakdown) {
+            s_current = std::max(opts.adaptive_min_s, s_current / 2);
+            clean_streak = 0;
+          } else if (++clean_streak >= 3 && s_current < s) {
+            ++s_current;
+            clean_streak = 0;
           }
         }
-        return snap;
-      };
-      auto record_errors = [&](const sim::DistMultiVec& before,
-                               const blas::DMat& r_blk, int pass) {
-        TsqrErrorSample sample;
-        sample.restart = restart;
-        sample.pass = pass;
-        sample.kappa_block = ortho::condition_number(before, 0, steps);
-        sim::DistMultiVec after = snapshot_block();
-        sample.errors = ortho::measure_errors(after, before, 0, steps, r_blk);
-        st.tsqr_errors.push_back(sample);
-      };
+        if (block_reorthed) ++st.reorth_blocks;
 
-      blas::DMat c;
-      {
-        sim::PhaseScope phase(machine, "borth");
-        c = ortho::borth(machine, opts.borth, v, done, done + steps);
-      }
-      sim::DistMultiVec pre_tsqr;
-      if (opts.collect_tsqr_errors) pre_tsqr = snapshot_block();
-      ortho::TsqrResult tq;
-      {
-        sim::PhaseScope phase(machine, "tsqr");
-        tq = ortho::tsqr(machine, opts.tsqr, v, done, done + steps,
-                         opts.tsqr_opts);
-      }
-      if (opts.collect_tsqr_errors) record_errors(pre_tsqr, tq.r, 0);
-      if (tq.breakdown) ++st.cholqr_breakdowns;
-      if (opts.adaptive_s) {
-        if (tq.breakdown) {
-          s_current = std::max(opts.adaptive_min_s, s_current / 2);
-          clean_streak = 0;
-        } else if (++clean_streak >= 3 && s_current < s) {
-          ++s_current;
-          clean_streak = 0;
+        // Record the block's columns of the global triangular factor.
+        for (int i = 0; i < steps; ++i) {
+          const int col = done + i;
+          for (int row = 0; row < done; ++row) r_total(row, col) = c(row, i);
+          for (int row = 0; row <= i; ++row) {
+            r_total(done + row, col) = tq.r(row, i);
+          }
         }
-      }
-      const bool reorth =
-          opts.reorthogonalize ||
-          (tq.breakdown && opts.reorth_on_breakdown);
-      if (reorth) {
-        blas::DMat c2;
-        {
-          sim::PhaseScope phase(machine, "borth");
-          c2 = ortho::borth(machine, opts.borth, v, done, done + steps);
+        done += steps;
+        st.iterations += steps;
+
+        // Host-side convergence probe at block granularity: assemble the
+        // Hessenberg matrix for the columns so far and check the LS
+        // residual.
+        const int k = done - 1;
+        Shifts used;
+        used.re.assign(col_shifts.re.begin(), col_shifts.re.begin() + k);
+        used.im.assign(col_shifts.im.begin(), col_shifts.im.begin() + k);
+        blas::DMat r_lead(k + 1, k + 1);
+        for (int j = 0; j <= k; ++j) {
+          for (int i = 0; i <= j; ++i) r_lead(i, j) = r_total(i, j);
         }
-        if (opts.collect_tsqr_errors) pre_tsqr = snapshot_block();
-        ortho::TsqrResult tq2;
-        {
-          sim::PhaseScope phase(machine, "tsqr");
-          tq2 = ortho::tsqr(machine, opts.tsqr, v, done, done + steps,
-                            opts.tsqr_opts);
-        }
-        if (opts.collect_tsqr_errors) record_errors(pre_tsqr, tq2.r, 1);
-        merge_reorth(c, c2, tq.r, tq2.r);
+        const std::vector<char> starts(
+            is_block_start.begin(), is_block_start.begin() + k + 1);
+        const blas::DMat h = hessenberg_blocked(r_lead, starts, used);
         machine.charge_host(sim::Kernel::kGemm,
-                            2.0 * static_cast<double>(done) * steps * steps,
-                            0.0);
-        ++st.reorth_blocks;
-      }
-
-      // Record the block's columns of the global triangular factor.
-      for (int i = 0; i < steps; ++i) {
-        const int col = done + i;
-        for (int row = 0; row < done; ++row) r_total(row, col) = c(row, i);
-        for (int row = 0; row <= i; ++row) {
-          r_total(done + row, col) = tq.r(row, i);
+                            2.0 * static_cast<double>(k) * k * k, 0.0);
+        double ls_res = 0.0;
+        const std::vector<double> y =
+            blas::solve_hessenberg_ls(h, res, &ls_res);
+        if (ls_res <= opts.tol * st.initial_residual || done == mm + 1) {
+          detail::update_solution(machine, v, k, y, xwork);
+          if (k > 0) x_is_zero = false;
+          cycle_converged = (ls_res <= opts.tol * st.initial_residual);
+          break;
         }
       }
-      done += steps;
-      st.iterations += steps;
-
-      // Host-side convergence probe at block granularity: assemble the
-      // Hessenberg matrix for the columns so far and check the LS residual.
-      const int k = done - 1;
-      Shifts used;
-      used.re.assign(col_shifts.re.begin(), col_shifts.re.begin() + k);
-      used.im.assign(col_shifts.im.begin(), col_shifts.im.begin() + k);
-      blas::DMat r_lead(k + 1, k + 1);
-      for (int j = 0; j <= k; ++j) {
-        for (int i = 0; i <= j; ++i) r_lead(i, j) = r_total(i, j);
+      if (cycle_tainted) {
+        // Persistent poison inside the cycle (e.g. the scaled residual
+        // column itself was hit): discard the cycle, restore the
+        // checkpointed x, and redo this restart with fresh data.
+        CAGMRES_REQUIRE_CODE(++tainted_rollbacks <= opts.max_block_replays,
+                             ErrorCode::kRetriesExhausted,
+                             "cycle stayed tainted across rollbacks");
+        ++st.recovery.rollbacks;
+        detail::restore_x(machine, xwork, x_ckpt);
+        x_is_zero = x_ckpt_zero;
+        continue;
       }
-      const std::vector<char> starts(
-          is_block_start.begin(), is_block_start.begin() + k + 1);
-      const blas::DMat h = hessenberg_blocked(r_lead, starts, used);
-      machine.charge_host(sim::Kernel::kGemm,
-                          2.0 * static_cast<double>(k) * k * k, 0.0);
-      double ls_res = 0.0;
-      const std::vector<double> y = blas::solve_hessenberg_ls(h, res, &ls_res);
-      if (ls_res <= opts.tol * st.initial_residual || done == mm + 1) {
-        detail::update_solution(machine, v, k, y, xwork);
-        cycle_converged = (ls_res <= opts.tol * st.initial_residual);
-        break;
+      tainted_rollbacks = 0;
+      ++st.restarts;
+      ++restart;
+      static_cast<void>(cycle_converged);  // true residual decides at top
+    } catch (const Error& e) {
+      // Only injected hardware faults are recoverable, and only while at
+      // least two devices survive; anything else propagates.
+      if (!resilient || (e.code() != ErrorCode::kDeviceFault &&
+                         e.code() != ErrorCode::kRetriesExhausted) ||
+          e.device() < 0 || machine.n_devices() <= 1) {
+        throw;
       }
+      machine.retire_device(e.device());
+      needs_rebuild = true;  // the rebuild itself runs inside the try
     }
-    ++st.restarts;
-    static_cast<void>(cycle_converged);  // true residual decides at next top
   }
   st.final_residual = res;
 
@@ -297,14 +460,24 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   st.time_tsqr = ph.get("tsqr") - phases0.get("tsqr");
   st.time_other = st.time_total - st.time_spmv - st.time_mpk - st.time_orth -
                   st.time_borth - st.time_tsqr;
+  if (resilient) {
+    const sim::FaultStats df = machine.fault_injector().stats() - faults0;
+    st.recovery.faults_injected = df.injected_total;
+    st.recovery.device_failures = df.device_failures;
+    st.recovery.kernel_faults = df.kernel_nans;
+    st.recovery.transfer_corruptions = df.transfer_corruptions;
+    st.recovery.transfer_stalls = df.transfer_stalls;
+    st.recovery.transfer_retries = df.transfer_retries;
+    st.recovery.time_lost += df.retry_seconds + df.stall_seconds;
+  }
 
   std::vector<double> x_prepared;
-  x_prepared.reserve(static_cast<std::size_t>(problem.n()));
-  for (int d = 0; d < ng; ++d) {
+  x_prepared.reserve(static_cast<std::size_t>(prob->n()));
+  for (int d = 0; d < machine.n_devices(); ++d) {
     const double* p = xwork.col(d, 0);
     x_prepared.insert(x_prepared.end(), p, p + xwork.local_rows(d));
   }
-  result.x = recover_solution(problem, x_prepared);
+  result.x = recover_solution(*prob, x_prepared);
   return result;
 }
 

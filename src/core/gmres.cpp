@@ -1,6 +1,7 @@
 #include "core/gmres.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "blas/least_squares.hpp"
 #include "common/error.hpp"
@@ -53,6 +54,7 @@ double compute_residual(sim::Machine& m, mpk::MpkExecutor& spmv,
 void update_solution(sim::Machine& m, sim::DistMultiVec& v, int k,
                      const std::vector<double>& y, sim::DistMultiVec& xwork) {
   CAGMRES_REQUIRE(static_cast<int>(y.size()) >= k, "short LS solution");
+  if (k == 0) return;
   ortho::detail::broadcast_charge(m, k);
   for (int d = 0; d < m.n_devices(); ++d) {
     sim::dev_gemv_n_acc(m, d, v.local_rows(d), k, v.col(d, 0),
@@ -60,9 +62,37 @@ void update_solution(sim::Machine& m, sim::DistMultiVec& v, int k,
   }
 }
 
+std::vector<double> checkpoint_x(sim::Machine& m,
+                                 const sim::DistMultiVec& xwork) {
+  std::vector<double> x;
+  x.reserve(static_cast<std::size_t>(xwork.total_rows()));
+  for (int d = 0; d < m.n_devices(); ++d) {
+    const int rows = xwork.local_rows(d);
+    m.d2h(d, 8.0 * rows);
+    const double* p = xwork.col(d, 0);
+    x.insert(x.end(), p, p + rows);
+  }
+  m.host_wait_all();
+  return x;
+}
+
+void restore_x(sim::Machine& m, sim::DistMultiVec& xwork,
+               const std::vector<double>& x) {
+  CAGMRES_REQUIRE(static_cast<int>(x.size()) == xwork.total_rows(),
+                  "checkpoint size mismatch");
+  std::size_t at = 0;
+  for (int d = 0; d < m.n_devices(); ++d) {
+    const int rows = xwork.local_rows(d);
+    m.h2d(d, 8.0 * rows);
+    double* p = xwork.col(d, 0);
+    for (int i = 0; i < rows; ++i) p[static_cast<std::size_t>(i)] = x[at++];
+  }
+  m.host_wait_all();
+}
+
 CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
                            sim::DistMultiVec& v, int mm, ortho::Method orth,
-                           double beta, double abs_tol) {
+                           double beta, double abs_tol, int max_replays) {
   CAGMRES_REQUIRE(orth == ortho::Method::kMgs || orth == ortho::Method::kCgs,
                   "GMRES Orth must be MGS or CGS");
   const int ng = m.n_devices();
@@ -75,48 +105,68 @@ CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
   std::vector<double> coeff(static_cast<std::size_t>(mm) + 1, 0.0);
 
   for (int j = 0; j < mm; ++j) {
-    spmv.spmv(m, v, j, j + 1);
-
-    sim::PhaseScope phase(m, "orth");
     const int k = j + 1;  // number of previous columns
-    if (orth == ortho::Method::kCgs) {
-      for (int d = 0; d < ng; ++d) {
-        sim::dev_gemv_t(m, d, v.local_rows(d), k, v.col(d, 0),
-                        v.local(d).ld(), v.col(d, k),
-                        partial[static_cast<std::size_t>(d)].data());
-      }
-      ortho::detail::reduce_to_host(m, partial, k, coeff.data());
-      ortho::detail::broadcast_charge(m, k);
-      for (int d = 0; d < ng; ++d) {
-        sim::dev_gemv_n_sub(m, d, v.local_rows(d), k, v.col(d, 0),
-                            v.local(d).ld(), coeff.data(), v.col(d, k));
-      }
-      for (int i = 0; i < k; ++i) {
-        out.h(i, j) = coeff[static_cast<std::size_t>(i)];
-      }
-    } else {  // MGS: one reduction per previous column
-      for (int l = 0; l < k; ++l) {
+    double nrm = 0.0;
+    int attempts = 0;
+    bool column_ok = false;
+    // Replay loop: the SpMV fully rewrites column k from the (accepted)
+    // column j, so re-running a poisoned iteration is side-effect free.
+    while (true) {
+      spmv.spmv(m, v, j, j + 1);
+
+      sim::PhaseScope phase(m, "orth");
+      if (orth == ortho::Method::kCgs) {
         for (int d = 0; d < ng; ++d) {
-          partial[static_cast<std::size_t>(d)][0] = sim::dev_dot(
-              m, d, v.local_rows(d), v.col(d, l), v.col(d, k));
+          sim::dev_gemv_t(m, d, v.local_rows(d), k, v.col(d, 0),
+                          v.local(d).ld(), v.col(d, k),
+                          partial[static_cast<std::size_t>(d)].data());
         }
-        double r = 0.0;
-        ortho::detail::reduce_to_host(m, partial, 1, &r);
-        out.h(l, j) = r;
-        ortho::detail::broadcast_charge(m, 1);
+        ortho::detail::reduce_to_host(m, partial, k, coeff.data());
+        ortho::detail::broadcast_charge(m, k);
         for (int d = 0; d < ng; ++d) {
-          sim::dev_axpy(m, d, v.local_rows(d), -r, v.col(d, l), v.col(d, k));
+          sim::dev_gemv_n_sub(m, d, v.local_rows(d), k, v.col(d, 0),
+                              v.local(d).ld(), coeff.data(), v.col(d, k));
+        }
+        for (int i = 0; i < k; ++i) {
+          out.h(i, j) = coeff[static_cast<std::size_t>(i)];
+        }
+      } else {  // MGS: one reduction per previous column
+        for (int l = 0; l < k; ++l) {
+          for (int d = 0; d < ng; ++d) {
+            partial[static_cast<std::size_t>(d)][0] = sim::dev_dot(
+                m, d, v.local_rows(d), v.col(d, l), v.col(d, k));
+          }
+          double r = 0.0;
+          ortho::detail::reduce_to_host(m, partial, 1, &r);
+          out.h(l, j) = r;
+          ortho::detail::broadcast_charge(m, 1);
+          for (int d = 0; d < ng; ++d) {
+            sim::dev_axpy(m, d, v.local_rows(d), -r, v.col(d, l), v.col(d, k));
+          }
         }
       }
+      // Norm of the new vector (doubles as the health checksum: a finite
+      // sum of squares proves the whole column is NaN/Inf free).
+      for (int d = 0; d < ng; ++d) {
+        partial[static_cast<std::size_t>(d)][0] =
+            sim::dev_dot(m, d, v.local_rows(d), v.col(d, k), v.col(d, k));
+      }
+      double nrm_sq = 0.0;
+      ortho::detail::reduce_to_host(m, partial, 1, &nrm_sq);
+      if (max_replays > 0) {
+        bool ok = std::isfinite(nrm_sq);
+        for (int i = 0; ok && i < k; ++i) ok = std::isfinite(out.h(i, j));
+        if (!ok) {
+          ++out.replays;
+          if (++attempts > max_replays) break;  // give up on this iteration
+          continue;
+        }
+      }
+      nrm = std::sqrt(std::max(nrm_sq, 0.0));
+      column_ok = true;
+      break;
     }
-    // Normalize the new vector.
-    for (int d = 0; d < ng; ++d) {
-      partial[static_cast<std::size_t>(d)][0] =
-          sim::dev_dot(m, d, v.local_rows(d), v.col(d, k), v.col(d, k));
-    }
-    double nrm_sq = 0.0;
-    ortho::detail::reduce_to_host(m, partial, 1, &nrm_sq);
-    const double nrm = std::sqrt(std::max(nrm_sq, 0.0));
+    if (!column_ok) break;  // persistent poison: keep the clean prefix
     out.h(k, j) = nrm;
     if (nrm <= 1e-300) {  // happy breakdown: subspace is invariant
       out.k = j + 1;
@@ -145,52 +195,144 @@ CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
 
 }  // namespace detail
 
+namespace detail {
+
+void charge_redistribution(sim::Machine& m, const Problem& p) {
+  for (int d = 0; d < p.n_devices(); ++d) {
+    const int r0 = p.offsets[static_cast<std::size_t>(d)];
+    const int r1 = p.offsets[static_cast<std::size_t>(d) + 1];
+    const double nnz = static_cast<double>(
+        p.a.row_ptr[static_cast<std::size_t>(r1)] -
+        p.a.row_ptr[static_cast<std::size_t>(r0)]);
+    // vals (8B) + col_idx (4B) per nonzero, row_ptr (8B) + rhs (8B) per row.
+    m.h2d(d, 12.0 * nnz + 16.0 * (r1 - r0));
+  }
+  m.host_wait_all();
+}
+
+}  // namespace detail
+
 SolveResult gmres(sim::Machine& machine, const Problem& problem,
                   const SolverOptions& opts) {
   CAGMRES_REQUIRE(problem.n_devices() == machine.n_devices(),
                   "problem/machine device count mismatch");
   CAGMRES_REQUIRE(opts.m >= 1, "restart length must be positive");
-  const int ng = machine.n_devices();
-  const std::vector<int> rows = problem.rows_per_device();
+  const bool resilient = machine.faults_armed();
+  const sim::FaultStats faults0 = machine.fault_injector().stats();
+  std::vector<int> rows = problem.rows_per_device();
 
-  const mpk::MpkPlan plan = mpk::build_mpk_plan(problem.a, problem.offsets, 1);
-  mpk::MpkExecutor spmv(plan);
+  // Owned repartitioned copy after a device loss; `prob` always points at
+  // the problem currently mapped onto the machine.
+  Problem repart;
+  const Problem* prob = &problem;
+  auto plan = std::make_unique<mpk::MpkPlan>(
+      mpk::build_mpk_plan(prob->a, prob->offsets, 1));
+  auto spmv = std::make_unique<mpk::MpkExecutor>(*plan);
 
   sim::DistMultiVec v(rows, opts.m + 1);
   sim::DistMultiVec xwork(rows, 2);
   sim::DistVec b(rows);
-  b.assign_from_host(problem.b);
+  b.assign_from_host(prob->b);
 
   SolveResult result;
   SolveStats& st = result.stats;
   const double t0 = machine.clock().elapsed();
   const sim::PhaseTimers phases0 = machine.phases();
 
+  // Restart = checkpoint: the last solution whose residual was proven
+  // finite, in prepared row order (valid across repartitions).
+  std::vector<double> x_ckpt;
+  bool x_ckpt_zero = true;
+  if (resilient) x_ckpt.assign(static_cast<std::size_t>(prob->n()), 0.0);
+  bool x_is_zero = true;   // x == 0 exactly (first residual is just b)
+  bool needs_rebuild = false;
+
   double res = 0.0;
-  for (int restart = 0; restart < opts.max_restarts; ++restart) {
-    res = detail::compute_residual(machine, spmv, b, xwork, v, 0,
-                                   restart == 0);
-    if (restart == 0) {
-      st.initial_residual = res;
-      if (res == 0.0) {  // b == 0: x = 0 is exact
+  int restart = 0;
+  while (restart < opts.max_restarts) {
+    try {
+      if (needs_rebuild) {
+        // A device was retired: re-split the prepared problem over the
+        // survivors, rebuild the distributed state, and resume from the
+        // last checkpoint. All redistribution traffic is charged.
+        const double t_reb = machine.clock().elapsed();
+        repart = repartition_problem(*prob, machine.n_devices());
+        prob = &repart;
+        rows = prob->rows_per_device();
+        plan = std::make_unique<mpk::MpkPlan>(
+            mpk::build_mpk_plan(prob->a, prob->offsets, 1));
+        spmv = std::make_unique<mpk::MpkExecutor>(*plan);
+        v = sim::DistMultiVec(rows, opts.m + 1);
+        xwork = sim::DistMultiVec(rows, 2);
+        b = sim::DistVec(rows);
+        b.assign_from_host(prob->b);
+        detail::charge_redistribution(machine, *prob);
+        detail::restore_x(machine, xwork, x_ckpt);
+        x_is_zero = x_ckpt_zero;
+        ++st.recovery.repartitions;
+        ++st.recovery.rollbacks;
+        st.recovery.time_lost += machine.clock().elapsed() - t_reb;
+        needs_rebuild = false;
+      }
+
+      res = detail::compute_residual(machine, *spmv, b, xwork, v, 0,
+                                     x_is_zero);
+      if (resilient) {
+        // A finite ||b - A x|| proves x is poison-free; a non-finite one
+        // means NaN leaked past the in-cycle scrub (or hit x itself), so
+        // roll back to the checkpoint and recompute.
+        int attempts = 0;
+        while (!std::isfinite(res)) {
+          CAGMRES_REQUIRE_CODE(++attempts <= opts.max_block_replays,
+                               ErrorCode::kRetriesExhausted,
+                               "residual stayed non-finite across rollbacks");
+          const double t_rb = machine.clock().elapsed();
+          detail::restore_x(machine, xwork, x_ckpt);
+          x_is_zero = x_ckpt_zero;
+          ++st.recovery.rollbacks;
+          res = detail::compute_residual(machine, *spmv, b, xwork, v, 0,
+                                         x_is_zero);
+          st.recovery.time_lost += machine.clock().elapsed() - t_rb;
+        }
+        x_ckpt = detail::checkpoint_x(machine, xwork);
+        x_ckpt_zero = x_is_zero;
+      }
+      if (restart == 0) {
+        st.initial_residual = res;
+        if (res == 0.0) {  // b == 0: x = 0 is exact
+          st.converged = true;
+          break;
+        }
+      }
+      st.residual_history.push_back(res);
+      if (res <= opts.tol * st.initial_residual) {
         st.converged = true;
         break;
       }
+      for (int d = 0; d < machine.n_devices(); ++d) {
+        sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
+      }
+      detail::CycleOutcome cycle = detail::arnoldi_cycle(
+          machine, *spmv, v, opts.m, opts.gmres_orth, res,
+          opts.tol * st.initial_residual,
+          resilient ? opts.max_block_replays : 0);
+      st.recovery.blocks_replayed += cycle.replays;
+      detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
+      if (cycle.k > 0) x_is_zero = false;
+      st.iterations += cycle.k;
+      ++st.restarts;
+      ++restart;
+    } catch (const Error& e) {
+      // Only injected hardware faults are recoverable, and only while at
+      // least two devices survive; anything else propagates.
+      if (!resilient || (e.code() != ErrorCode::kDeviceFault &&
+                         e.code() != ErrorCode::kRetriesExhausted) ||
+          e.device() < 0 || machine.n_devices() <= 1) {
+        throw;
+      }
+      machine.retire_device(e.device());
+      needs_rebuild = true;  // the rebuild itself runs inside the try
     }
-    st.residual_history.push_back(res);
-    if (res <= opts.tol * st.initial_residual) {
-      st.converged = true;
-      break;
-    }
-    for (int d = 0; d < ng; ++d) {
-      sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
-    }
-    detail::CycleOutcome cycle = detail::arnoldi_cycle(
-        machine, spmv, v, opts.m, opts.gmres_orth, res,
-        opts.tol * st.initial_residual);
-    detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
-    st.iterations += cycle.k;
-    ++st.restarts;
   }
   st.final_residual = res;
 
@@ -199,14 +341,24 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   st.time_spmv = ph.get("spmv") - phases0.get("spmv");
   st.time_orth = ph.get("orth") - phases0.get("orth");
   st.time_other = st.time_total - st.time_spmv - st.time_orth;
+  if (resilient) {
+    const sim::FaultStats df = machine.fault_injector().stats() - faults0;
+    st.recovery.faults_injected = df.injected_total;
+    st.recovery.device_failures = df.device_failures;
+    st.recovery.kernel_faults = df.kernel_nans;
+    st.recovery.transfer_corruptions = df.transfer_corruptions;
+    st.recovery.transfer_stalls = df.transfer_stalls;
+    st.recovery.transfer_retries = df.transfer_retries;
+    st.recovery.time_lost += df.retry_seconds + df.stall_seconds;
+  }
 
   std::vector<double> x_prepared;
-  x_prepared.reserve(static_cast<std::size_t>(problem.n()));
-  for (int d = 0; d < ng; ++d) {
+  x_prepared.reserve(static_cast<std::size_t>(prob->n()));
+  for (int d = 0; d < machine.n_devices(); ++d) {
     const double* p = xwork.col(d, 0);
     x_prepared.insert(x_prepared.end(), p, p + xwork.local_rows(d));
   }
-  result.x = recover_solution(problem, x_prepared);
+  result.x = recover_solution(*prob, x_prepared);
   return result;
 }
 

@@ -29,11 +29,33 @@ struct CycleOutcome {
   blas::DMat h;             ///< (m+1) x m raw Hessenberg (cols 0..k-1 valid)
   std::vector<double> y;    ///< LS solution for the k columns
   double ls_residual = 0.0; ///< final least-squares residual estimate
+  int replays = 0;          ///< iterations re-run by the health scrub
 };
 
+/// `max_replays` > 0 enables the recovery scrub: each iteration's Hessenberg
+/// column and norm (computed anyway — a free checksum) are checked for
+/// NaN/Inf before the iteration is accepted; a poisoned iteration is re-run
+/// up to max_replays times, after which the cycle stops early at the last
+/// clean column. 0 (the fault-free default) changes nothing.
 CycleOutcome arnoldi_cycle(sim::Machine& machine, mpk::MpkExecutor& spmv,
                            sim::DistMultiVec& v, int m, ortho::Method orth,
-                           double beta, double abs_tol);
+                           double beta, double abs_tol, int max_replays = 0);
+
+/// Charged checkpoint of the current solution (column 0 of xwork) to the
+/// host, in prepared row order (device blocks are contiguous). Recovery-path
+/// only: callers gate it on Machine::faults_armed().
+std::vector<double> checkpoint_x(sim::Machine& machine,
+                                 const sim::DistMultiVec& xwork);
+
+/// Charged restore of a checkpoint into column 0 of xwork, split at xwork's
+/// (possibly repartitioned) device blocks.
+void restore_x(sim::Machine& machine, sim::DistMultiVec& xwork,
+               const std::vector<double>& x);
+
+/// Charges the host->device redistribution of the matrix and rhs blocks
+/// after a repartition (the one recovery cost that is not a retry or replay
+/// of existing work).
+void charge_redistribution(sim::Machine& machine, const Problem& p);
 
 /// r := b - A x into column rcol of v, where x lives in column xcol of
 /// `xwork` (a 2-column scratch multivector) — or r := b when first is true.

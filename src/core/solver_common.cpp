@@ -53,6 +53,15 @@ Problem make_problem(const sparse::CsrMatrix& a, const std::vector<double>& b,
   return p;
 }
 
+Problem repartition_problem(const Problem& p, int n_devices) {
+  CAGMRES_REQUIRE(n_devices >= 1, "need at least one device");
+  Problem q = p;
+  const graph::Partition part =
+      graph::make_partition(q.a, n_devices, graph::Ordering::kNatural);
+  q.offsets = part.offsets;
+  return q;
+}
+
 std::vector<double> recover_solution(const Problem& p,
                                      const std::vector<double>& x_prepared) {
   CAGMRES_REQUIRE(x_prepared.size() == p.perm.size(), "solution size mismatch");

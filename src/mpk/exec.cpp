@@ -1,11 +1,24 @@
 #include "mpk/exec.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "sim/device_blas.hpp"
 
 namespace cagmres::mpk {
+
+namespace {
+
+/// Injected transient kernel fault on one of the executor's inline charged
+/// loops (boundary SpMV, fused shift AXPY, halo expand): NaN-poison the
+/// region that loop produced, mirroring sim/device_blas.cpp.
+void poison(double* p, int n) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < n; ++i) p[i] = nan;
+}
+
+}  // namespace
 
 MpkExecutor::MpkExecutor(const MpkPlan& plan) : plan_(&plan) {
   const int ng = plan.n_devices();
@@ -61,6 +74,7 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
                   c0)[dp.ext_owner_row[static_cast<std::size_t>(e)]];
       }
       m.charge_device(d, sim::Kernel::kPack, 0.0, 20.0 * next);
+      if (m.consume_kernel_fault(d)) poison(zd.data() + dp.owned, next);
     }
   }
 }
@@ -128,6 +142,13 @@ void MpkExecutor::apply(sim::Machine& m, sim::DistMultiVec& v, int c0,
             b.row_ptr[static_cast<std::size_t>(brows)]);
         m.charge_device(d, sim::Kernel::kSpmvCsr, 2.0 * bnnz,
                         bnnz * 20.0 + 12.0 * brows);
+        if (m.consume_kernel_fault(d)) {
+          for (int i = 0; i < brows; ++i) {
+            zout[static_cast<std::size_t>(
+                dp.boundary_out_pos[static_cast<std::size_t>(i)])] =
+                std::numeric_limits<double>::quiet_NaN();
+          }
+        }
       }
 
       // Newton shift: zout -= theta * zin on every computed position
@@ -154,6 +175,7 @@ void MpkExecutor::apply(sim::Machine& m, sim::DistMultiVec& v, int c0,
         m.charge_device(d, sim::Kernel::kAxpy,
                         (pair_second ? 4.0 : 2.0) * rows,
                         (pair_second ? 4.0 : 3.0) * 8.0 * rows);
+        if (m.consume_kernel_fault(d)) poison(zout.data(), dp.owned);
       }
 
       // Store the owned part as the next basis column (Fig. 4 last line).

@@ -1,5 +1,6 @@
 #include "ortho/borth.hpp"
 
+#include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
@@ -71,6 +72,31 @@ blas::DMat borth(sim::Machine& machine, BorthMethod method,
     }
   }
   return c;
+}
+
+bool block_norms_finite(sim::Machine& machine, const sim::DistMultiVec& v,
+                        int c0, int c1) {
+  CAGMRES_REQUIRE(0 <= c0 && c0 <= c1 && c1 <= v.cols(),
+                  "block_norms_finite: bad column range");
+  const int ng = machine.n_devices();
+  const int blk = c1 - c0;
+  if (blk == 0) return true;
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(ng),
+      std::vector<double>(static_cast<std::size_t>(blk), 0.0));
+  for (int d = 0; d < ng; ++d) {
+    for (int j = 0; j < blk; ++j) {
+      partial[static_cast<std::size_t>(d)][static_cast<std::size_t>(j)] =
+          sim::dev_dot(machine, d, v.local_rows(d), v.col(d, c0 + j),
+                       v.col(d, c0 + j));
+    }
+  }
+  std::vector<double> norms(static_cast<std::size_t>(blk), 0.0);
+  detail::reduce_to_host(machine, partial, blk, norms.data());
+  for (const double n : norms) {
+    if (!std::isfinite(n)) return false;
+  }
+  return true;
 }
 
 }  // namespace cagmres::ortho

@@ -72,7 +72,8 @@ TsqrResult tsqr_cgs(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1) {
       broadcast_charge(m, 1);
       nrm = std::sqrt(std::max(nrm2, 0.0));
     }
-    CAGMRES_REQUIRE(nrm > 0.0, "CGS: zero column encountered");
+    CAGMRES_REQUIRE_CODE(nrm > 0.0, ErrorCode::kBreakdown,
+                         "CGS: zero column encountered");
     res.r(prev, prev) = nrm;
     for (int d = 0; d < ng; ++d) {
       sim::dev_scal(m, d, v.local_rows(d), 1.0 / nrm, v.col(d, col));

@@ -6,6 +6,8 @@
 // Gram matrix — for ill-conditioned CA-GMRES bases Cholesky can break
 // down, which we detect and (optionally) absorb with a shifted retry that
 // the caller should follow with reorthogonalization ("2x CholQR").
+#include <cmath>
+#include <string>
 #include <vector>
 
 #include "blas/lapack.hpp"
@@ -40,6 +42,18 @@ TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
   blas::DMat b(k, k);
   reduce_to_host(m, partial, k * k, b.data());
 
+  // A poisoned basis block (injected kernel NaN) makes the Gram matrix
+  // non-finite; no diagonal shift can fix that, so fail before the retry
+  // loop. The resilient solvers treat this breakdown as tainted data.
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i <= j; ++i) {
+      if (!std::isfinite(b(i, j))) {
+        throw Error("CholQR: Gram matrix has non-finite entries",
+                    ErrorCode::kBreakdown);
+      }
+    }
+  }
+
   // Host Cholesky (O(k^3/3) — negligible next to the panels).
   blas::DMat r = b;
   int fail = blas::potrf_upper(r);
@@ -47,8 +61,13 @@ TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
                 8.0 * k * k);
   if (fail >= 0) {
     res.breakdown = true;
-    CAGMRES_REQUIRE(opts.cholqr_shift_on_breakdown,
-                    "CholQR breakdown (Gram matrix numerically indefinite)");
+    res.breakdown_col = fail;  // lapack's first non-positive pivot column
+    if (!opts.cholqr_shift_on_breakdown) {
+      throw Error("CholQR breakdown at pivot column " + std::to_string(fail) +
+                      " of " + std::to_string(k) +
+                      " (Gram matrix numerically indefinite)",
+                  ErrorCode::kBreakdown);
+    }
     // Escalating diagonal shift relative to the Gram diagonal.
     double shift = opts.cholqr_shift;
     for (int attempt = 0; attempt < 8 && fail >= 0; ++attempt) {
@@ -57,7 +76,11 @@ TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
       fail = blas::potrf_upper(r);
       shift *= 100.0;
     }
-    CAGMRES_REQUIRE(fail < 0, "CholQR: shifted Cholesky still failing");
+    if (fail >= 0) {
+      throw Error("CholQR: shifted Cholesky still failing at pivot column " +
+                      std::to_string(fail),
+                  ErrorCode::kBreakdown);
+    }
   }
 
   // Broadcast R, then the panel-wide triangular solve on each device.

@@ -45,7 +45,8 @@ TsqrResult tsqr_mgs(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1) {
     double nrm_sq = 0.0;
     reduce_to_host(m, partial, 1, &nrm_sq);
     const double nrm = std::sqrt(std::max(nrm_sq, 0.0));
-    CAGMRES_REQUIRE(nrm > 0.0, "MGS: zero column encountered");
+    CAGMRES_REQUIRE_CODE(nrm > 0.0, ErrorCode::kBreakdown,
+                         "MGS: zero column encountered");
     res.r(col - c0, col - c0) = nrm;
     broadcast_charge(m, 1);
     for (int d = 0; d < ng; ++d) {

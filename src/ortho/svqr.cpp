@@ -57,7 +57,8 @@ TsqrResult tsqr_svqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
                 12.0 * static_cast<double>(k) * k * k * eig.sweeps,
                 8.0 * k * k);
   const double smax = std::max(eig.w.front(), 0.0);
-  CAGMRES_REQUIRE(smax > 0.0, "SVQR: Gram matrix is zero");
+  CAGMRES_REQUIRE_CODE(smax > 0.0, ErrorCode::kBreakdown,
+                       "SVQR: Gram matrix is zero");
   // M = S^{1/2} U^T, with singular values floored so R stays invertible on
   // rank-deficient input.
   blas::DMat mmat(k, k);

@@ -1,5 +1,7 @@
 #include "sim/device_blas.hpp"
 
+#include <limits>
+
 #include "blas/blas1.hpp"
 #include "blas/blas2.hpp"
 #include "blas/blas3.hpp"
@@ -8,28 +10,51 @@
 namespace cagmres::sim {
 
 namespace {
+
 constexpr double kW = 8.0;  // bytes per double word
+
+/// Injected transient kernel fault: overwrite the op's output with NaN.
+/// The recovery layer detects the poison at the next block-norm / finite
+/// check and replays the tainted block.
+void poison(double* p, int n) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < n; ++i) p[i] = nan;
 }
+
+void poison_panel(double* p, int rows, int cols, int ld) {
+  for (int j = 0; j < cols; ++j) {
+    poison(p + static_cast<std::size_t>(j) * ld, rows);
+  }
+}
+
+}  // namespace
 
 double dev_dot(Machine& m, int d, int n, const double* x, const double* y) {
   m.charge_device(d, Kernel::kDot, 2.0 * n, 2.0 * kW * n);
-  return blas::dot(n, x, y);
+  const double out = blas::dot(n, x, y);
+  if (m.consume_kernel_fault(d)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return out;
 }
 
 void dev_axpy(Machine& m, int d, int n, double alpha, const double* x,
               double* y) {
   m.charge_device(d, Kernel::kAxpy, 2.0 * n, 3.0 * kW * n);
   blas::axpy(n, alpha, x, y);
+  if (m.consume_kernel_fault(d)) poison(y, n);
 }
 
 void dev_scal(Machine& m, int d, int n, double alpha, double* x) {
   m.charge_device(d, Kernel::kScal, 1.0 * n, 2.0 * kW * n);
   blas::scal(n, alpha, x);
+  if (m.consume_kernel_fault(d)) poison(x, n);
 }
 
 void dev_copy(Machine& m, int d, int n, const double* x, double* y) {
   m.charge_device(d, Kernel::kCopy, 0.0, 2.0 * kW * n);
   blas::copy(n, x, y);
+  if (m.consume_kernel_fault(d)) poison(y, n);
 }
 
 void dev_gemv_t(Machine& m, int d, int rows, int k, const double* a, int lda,
@@ -37,6 +62,7 @@ void dev_gemv_t(Machine& m, int d, int rows, int k, const double* a, int lda,
   m.charge_device(d, Kernel::kGemv, 2.0 * rows * k,
                   kW * (static_cast<double>(rows) * k + rows + k));
   blas::gemv_t(rows, k, 1.0, a, lda, x, 0.0, y);
+  if (m.consume_kernel_fault(d)) poison(y, k);
 }
 
 void dev_gemv_n_sub(Machine& m, int d, int rows, int k, const double* a,
@@ -44,6 +70,7 @@ void dev_gemv_n_sub(Machine& m, int d, int rows, int k, const double* a,
   m.charge_device(d, Kernel::kGemv, 2.0 * rows * k,
                   kW * (static_cast<double>(rows) * k + 2.0 * rows + k));
   blas::gemv_n(rows, k, -1.0, a, lda, r, 1.0, y);
+  if (m.consume_kernel_fault(d)) poison(y, rows);
 }
 
 void dev_gemv_n_acc(Machine& m, int d, int rows, int k, const double* a,
@@ -51,6 +78,7 @@ void dev_gemv_n_acc(Machine& m, int d, int rows, int k, const double* a,
   m.charge_device(d, Kernel::kGemv, 2.0 * static_cast<double>(rows) * k,
                   kW * (static_cast<double>(rows) * k + 2.0 * rows + k));
   blas::gemv_n(rows, k, 1.0, a, lda, r, 1.0, y);
+  if (m.consume_kernel_fault(d)) poison(y, rows);
 }
 
 void dev_ger_sub(Machine& m, int d, int rows, int k, const double* x,
@@ -58,6 +86,7 @@ void dev_ger_sub(Machine& m, int d, int rows, int k, const double* x,
   m.charge_device(d, Kernel::kGemv, 2.0 * static_cast<double>(rows) * k,
                   kW * (2.0 * static_cast<double>(rows) * k + rows + k));
   blas::ger(rows, k, -1.0, x, c, b, ldb);
+  if (m.consume_kernel_fault(d)) poison_panel(b, rows, k, ldb);
 }
 
 void dev_gram(Machine& m, int d, int rows, int k, const double* a, int lda,
@@ -67,6 +96,7 @@ void dev_gram(Machine& m, int d, int rows, int k, const double* a, int lda,
                   static_cast<double>(rows) * k * (k + 1),
                   kW * (static_cast<double>(rows) * k + static_cast<double>(k) * k));
   blas::syrk_tn(rows, k, a, lda, c, ldc);
+  if (m.consume_kernel_fault(d)) poison_panel(c, k, k, ldc);
 }
 
 void dev_gram_float(Machine& m, int d, int rows, int k, const double* a,
@@ -97,6 +127,7 @@ void dev_gram_float(Machine& m, int d, int rows, int k, const double* a,
       c[static_cast<std::size_t>(i) * ldc + j] = static_cast<double>(acc);
     }
   }
+  if (m.consume_kernel_fault(d)) poison_panel(c, k, k, ldc);
 }
 
 void dev_gemm_tn(Machine& m, int d, int rows, int ka, int kb, const double* a,
@@ -107,6 +138,7 @@ void dev_gemm_tn(Machine& m, int d, int rows, int ka, int kb, const double* a,
                         static_cast<double>(ka) * kb));
   blas::gemm(blas::Trans::T, blas::Trans::N, ka, kb, rows, 1.0, a, lda, b,
              ldb, 0.0, c, ldc);
+  if (m.consume_kernel_fault(d)) poison_panel(c, ka, kb, ldc);
 }
 
 void dev_gemm_nn_sub(Machine& m, int d, int rows, int ka, int kb,
@@ -118,6 +150,7 @@ void dev_gemm_nn_sub(Machine& m, int d, int rows, int ka, int kb,
                         static_cast<double>(ka) * kb));
   blas::gemm(blas::Trans::N, blas::Trans::N, rows, kb, ka, -1.0, a, lda, c,
              ldc, 1.0, b, ldb);
+  if (m.consume_kernel_fault(d)) poison_panel(b, rows, kb, ldb);
 }
 
 void dev_gemm_nn(Machine& m, int d, int rows, int ka, int kb, const double* a,
@@ -128,6 +161,7 @@ void dev_gemm_nn(Machine& m, int d, int rows, int ka, int kb, const double* a,
                         static_cast<double>(ka) * kb));
   blas::gemm(blas::Trans::N, blas::Trans::N, rows, kb, ka, 1.0, a, lda, c,
              ldc, 0.0, b, ldb);
+  if (m.consume_kernel_fault(d)) poison_panel(b, rows, kb, ldb);
 }
 
 void dev_trsm(Machine& m, int d, int rows, int k, const double* r, int ldr,
@@ -137,6 +171,7 @@ void dev_trsm(Machine& m, int d, int rows, int k, const double* r, int ldr,
                   kW * (2.0 * static_cast<double>(rows) * k +
                         0.5 * static_cast<double>(k) * k));
   blas::trsm_right_upper(rows, k, r, ldr, b, ldb);
+  if (m.consume_kernel_fault(d)) poison_panel(b, rows, k, ldb);
 }
 
 void dev_qr_explicit(Machine& m, int d, const blas::DMat& v, blas::DMat& q,
@@ -147,6 +182,7 @@ void dev_qr_explicit(Machine& m, int d, const blas::DMat& v, blas::DMat& q,
   m.charge_device(d, Kernel::kGeqrf, 4.0 * rows * k * k,
                   kW * 4.0 * rows * k);
   blas::qr_explicit(v, q, r);
+  if (m.consume_kernel_fault(d)) poison_panel(q.data(), q.rows(), q.cols(), q.ld());
 }
 
 void dev_spmv_ell(Machine& m, int d, const sparse::EllMatrix& a,
@@ -156,6 +192,7 @@ void dev_spmv_ell(Machine& m, int d, const sparse::EllMatrix& a,
   m.charge_device(d, Kernel::kSpmvEll, 2.0 * slots,
                   slots * 20.0 + kW * a.n_rows);
   sparse::spmv(a, x, y);
+  if (m.consume_kernel_fault(d)) poison(y, a.n_rows);
 }
 
 void dev_spmv_csr(Machine& m, int d, const sparse::CsrMatrix& a,
@@ -164,6 +201,7 @@ void dev_spmv_csr(Machine& m, int d, const sparse::CsrMatrix& a,
   m.charge_device(d, Kernel::kSpmvCsr, 2.0 * nnz,
                   nnz * 20.0 + 12.0 * a.n_rows);
   sparse::spmv(a, x, y);
+  if (m.consume_kernel_fault(d)) poison(y, a.n_rows);
 }
 
 void dev_pack(Machine& m, int d, const std::vector<int>& idx, const double* x,
@@ -171,6 +209,7 @@ void dev_pack(Machine& m, int d, const std::vector<int>& idx, const double* x,
   const double cnt = static_cast<double>(idx.size());
   m.charge_device(d, Kernel::kPack, 0.0, cnt * 20.0);
   for (std::size_t i = 0; i < idx.size(); ++i) out[i] = x[idx[i]];
+  if (m.consume_kernel_fault(d)) poison(out, static_cast<int>(idx.size()));
 }
 
 void dev_unpack(Machine& m, int d, const std::vector<int>& idx,
@@ -178,6 +217,10 @@ void dev_unpack(Machine& m, int d, const std::vector<int>& idx,
   const double cnt = static_cast<double>(idx.size());
   m.charge_device(d, Kernel::kPack, 0.0, cnt * 20.0);
   for (std::size_t i = 0; i < idx.size(); ++i) x[idx[i]] = in[i];
+  if (m.consume_kernel_fault(d)) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (const int i : idx) x[i] = nan;
+  }
 }
 
 }  // namespace cagmres::sim

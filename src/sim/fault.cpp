@@ -1,0 +1,261 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace cagmres::sim {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeviceFail:
+      return "kill";
+    case FaultKind::kKernelNan:
+      return "nan";
+    case FaultKind::kTransferCorrupt:
+      return "corrupt";
+    case FaultKind::kTransferStall:
+      return "stall";
+  }
+  return "?";
+}
+
+FaultStats FaultStats::operator-(const FaultStats& rhs) const {
+  FaultStats out;
+  out.injected_total = injected_total - rhs.injected_total;
+  out.device_failures = device_failures - rhs.device_failures;
+  out.kernel_nans = kernel_nans - rhs.kernel_nans;
+  out.transfer_corruptions = transfer_corruptions - rhs.transfer_corruptions;
+  out.transfer_stalls = transfer_stalls - rhs.transfer_stalls;
+  out.transfer_retries = transfer_retries - rhs.transfer_retries;
+  out.retry_seconds = retry_seconds - rhs.retry_seconds;
+  out.stall_seconds = stall_seconds - rhs.stall_seconds;
+  return out;
+}
+
+void FaultInjector::schedule(const FaultEvent& event) {
+  CAGMRES_REQUIRE((event.at_time >= 0.0) != (event.at_op >= 0),
+                  "fault event needs exactly one of at_time / at_op");
+  events_.push_back(event);
+  armed_ = true;
+}
+
+void FaultInjector::set_rates(const FaultRates& rates) {
+  CAGMRES_REQUIRE(rates.kernel_nan >= 0.0 && rates.kernel_nan <= 1.0 &&
+                      rates.transfer_corrupt >= 0.0 &&
+                      rates.transfer_corrupt <= 1.0 &&
+                      rates.transfer_stall >= 0.0 &&
+                      rates.transfer_stall <= 1.0,
+                  "fault rates must be probabilities");
+  rates_ = rates;
+  armed_ = !events_.empty() || rates_.kernel_nan > 0.0 ||
+           rates_.transfer_corrupt > 0.0 || rates_.transfer_stall > 0.0;
+}
+
+void FaultInjector::set_seed(std::uint64_t seed) {
+  seed_ = seed;
+  rng_ = Rng(seed);
+}
+
+bool FaultInjector::device_dead(int device) const {
+  return std::find(dead_.begin(), dead_.end(), device) != dead_.end();
+}
+
+void FaultInjector::record(FaultKind kind, int device, double now,
+                           std::int64_t op) {
+  ++stats_.injected_total;
+  switch (kind) {
+    case FaultKind::kDeviceFail:
+      ++stats_.device_failures;
+      break;
+    case FaultKind::kKernelNan:
+      ++stats_.kernel_nans;
+      break;
+    case FaultKind::kTransferCorrupt:
+      ++stats_.transfer_corruptions;
+      break;
+    case FaultKind::kTransferStall:
+      ++stats_.transfer_stalls;
+      break;
+  }
+  log_.push_back({kind, device, now, op});
+}
+
+bool FaultInjector::poll_scheduled(FaultKind kind, int device, double now,
+                                   std::int64_t op) {
+  for (FaultEvent& e : events_) {
+    if (e.fired || e.kind != kind) continue;
+    if (e.device >= 0 && e.device != device) continue;
+    const bool due = (e.at_time >= 0.0 && now >= e.at_time) ||
+                     (e.at_op >= 0 && op >= e.at_op);
+    if (!due) continue;
+    e.fired = true;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::roll(double prob) {
+  if (prob <= 0.0) return false;
+  return rng_.uniform() < prob;
+}
+
+bool FaultInjector::poll_device_fail(int device, double now,
+                                     std::int64_t op) {
+  if (device_dead(device)) return true;  // dead stays dead
+  if (!poll_scheduled(FaultKind::kDeviceFail, device, now, op)) return false;
+  dead_.push_back(device);
+  record(FaultKind::kDeviceFail, device, now, op);
+  return true;
+}
+
+bool FaultInjector::poll_kernel_nan(int device, double now, std::int64_t op) {
+  if (poll_scheduled(FaultKind::kKernelNan, device, now, op) ||
+      roll(rates_.kernel_nan)) {
+    record(FaultKind::kKernelNan, device, now, op);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::poll_transfer_corrupt(int device, double now,
+                                          std::int64_t op) {
+  if (poll_scheduled(FaultKind::kTransferCorrupt, device, now, op) ||
+      roll(rates_.transfer_corrupt)) {
+    record(FaultKind::kTransferCorrupt, device, now, op);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::poll_transfer_stall(int device, double now,
+                                        std::int64_t op) {
+  if (poll_scheduled(FaultKind::kTransferStall, device, now, op) ||
+      roll(rates_.transfer_stall)) {
+    record(FaultKind::kTransferStall, device, now, op);
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::reset() {
+  for (FaultEvent& e : events_) e.fired = false;
+  dead_.clear();
+  stats_ = FaultStats{};
+  log_.clear();
+  rng_ = Rng(seed_);
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+double parse_number(const std::string& s, const std::string& ctx) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  CAGMRES_REQUIRE(end != s.c_str(), "faults spec: bad number in " + ctx);
+  return v;
+}
+
+/// "5ms" -> 5e-3 etc.; a bare number is seconds.
+double parse_time(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  CAGMRES_REQUIRE(end != s.c_str(), "faults spec: bad time: " + s);
+  const std::string suffix(end);
+  if (suffix.empty() || suffix == "s") return v;
+  if (suffix == "ms") return v * 1e-3;
+  if (suffix == "us") return v * 1e-6;
+  throw Error("faults spec: bad time suffix: " + s);
+}
+
+FaultKind parse_kind(const std::string& s) {
+  if (s == "kill") return FaultKind::kDeviceFail;
+  if (s == "nan") return FaultKind::kKernelNan;
+  if (s == "corrupt") return FaultKind::kTransferCorrupt;
+  if (s == "stall") return FaultKind::kTransferStall;
+  throw Error("faults spec: unknown fault kind: " + s +
+              " (expected kill|nan|corrupt|stall)");
+}
+
+}  // namespace
+
+void parse_fault_spec(const std::string& spec, FaultInjector& out) {
+  FaultRates rates;
+  for (const std::string& elem : split(spec, ';')) {
+    if (elem.empty()) continue;
+    if (elem.rfind("seed=", 0) == 0) {
+      out.set_seed(static_cast<std::uint64_t>(
+          parse_number(elem.substr(5), elem)));
+      continue;
+    }
+    if (elem.rfind("stall_us=", 0) == 0) {
+      out.set_stall_seconds(parse_number(elem.substr(9), elem) * 1e-6);
+      continue;
+    }
+    const std::size_t colon = elem.find(':');
+    CAGMRES_REQUIRE(colon != std::string::npos,
+                    "faults spec: expected kind:target in " + elem);
+    const FaultKind kind = parse_kind(elem.substr(0, colon));
+    const std::string rest = elem.substr(colon + 1);
+
+    if (rest.rfind("p=", 0) == 0) {  // continuous rate
+      const double p = parse_number(rest.substr(2), elem);
+      switch (kind) {
+        case FaultKind::kKernelNan:
+          rates.kernel_nan = p;
+          break;
+        case FaultKind::kTransferCorrupt:
+          rates.transfer_corrupt = p;
+          break;
+        case FaultKind::kTransferStall:
+          rates.transfer_stall = p;
+          break;
+        case FaultKind::kDeviceFail:
+          throw Error("faults spec: kill has no rate form (use d<k>@...)");
+      }
+      continue;
+    }
+
+    // One-shot event: ("d" int | "*") '@' ("t="time | "op="uint)
+    const std::size_t at = rest.find('@');
+    CAGMRES_REQUIRE(at != std::string::npos,
+                    "faults spec: expected <dev>@<trigger> in " + elem);
+    const std::string dev = rest.substr(0, at);
+    const std::string trig = rest.substr(at + 1);
+    FaultEvent e;
+    e.kind = kind;
+    if (dev == "*") {
+      e.device = -1;
+    } else {
+      CAGMRES_REQUIRE(dev.size() >= 2 && dev[0] == 'd',
+                      "faults spec: bad device (want d<k> or *): " + elem);
+      e.device = static_cast<int>(parse_number(dev.substr(1), elem));
+    }
+    if (trig.rfind("t=", 0) == 0) {
+      e.at_time = parse_time(trig.substr(2));
+    } else if (trig.rfind("op=", 0) == 0) {
+      e.at_op = static_cast<std::int64_t>(parse_number(trig.substr(3), elem));
+    } else {
+      throw Error("faults spec: bad trigger (want t=|op=): " + elem);
+    }
+    out.schedule(e);
+  }
+  out.set_rates(rates);
+}
+
+}  // namespace cagmres::sim

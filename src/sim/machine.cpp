@@ -1,5 +1,6 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -42,15 +43,97 @@ Machine::Machine(int n_devices, PerfModel model)
     : model_(model),
       topo_{1, n_devices},
       clock_(n_devices),
-      counters_(n_devices) {}
+      counters_(n_devices),
+      dev_ops_(static_cast<std::size_t>(n_devices), 0),
+      dev_poison_(static_cast<std::size_t>(n_devices), 0) {
+  dev_map_.resize(static_cast<std::size_t>(n_devices));
+  std::iota(dev_map_.begin(), dev_map_.end(), 0);
+}
 
 Machine::Machine(Topology topology, PerfModel model)
     : model_(model),
       topo_(topology),
       clock_(topology.n_devices()),
-      counters_(topology.n_devices()) {
+      counters_(topology.n_devices()),
+      dev_ops_(static_cast<std::size_t>(topology.n_devices()), 0),
+      dev_poison_(static_cast<std::size_t>(topology.n_devices()), 0) {
   CAGMRES_REQUIRE(topology.n_nodes >= 1 && topology.gpus_per_node >= 1,
                   "empty topology");
+  dev_map_.resize(static_cast<std::size_t>(topology.n_devices()));
+  std::iota(dev_map_.begin(), dev_map_.end(), 0);
+}
+
+void Machine::retire_device(int d) {
+  CAGMRES_REQUIRE(0 <= d && d < n_devices(), "retire: bad logical device");
+  CAGMRES_REQUIRE(n_devices() > 1, "retire: cannot retire the last device");
+  dev_map_.erase(dev_map_.begin() + d);
+}
+
+std::int64_t Machine::poll_faults_kernel(int logical, int physical) {
+  const auto p = static_cast<std::size_t>(physical);
+  const std::int64_t op = ++dev_ops_[p];
+  const double now = clock_.device_time(physical);
+  if (faults_.poll_device_fail(physical, now, op)) {
+    if (tracing_) trace_.record_instant(physical, now, "fault:kill", phase_);
+    throw Error("simulated device " + std::to_string(physical) + " failed",
+                ErrorCode::kDeviceFault, logical);
+  }
+  if (faults_.poll_kernel_nan(physical, now, op)) {
+    if (tracing_) trace_.record_instant(physical, now, "fault:nan", phase_);
+    dev_poison_[p] = 1;
+  }
+  return op;
+}
+
+std::int64_t Machine::poll_faults_transfer_pre(int logical, int physical,
+                                               double* extra_stall) {
+  const auto p = static_cast<std::size_t>(physical);
+  const std::int64_t op = ++dev_ops_[p];
+  const double now = clock_.device_time(physical);
+  if (faults_.poll_device_fail(physical, now, op)) {
+    if (tracing_) trace_.record_instant(physical, now, "fault:kill", phase_);
+    throw Error("simulated device " + std::to_string(physical) +
+                    " failed (transfer)",
+                ErrorCode::kDeviceFault, logical);
+  }
+  if (faults_.poll_transfer_stall(physical, now, op)) {
+    if (tracing_) trace_.record_instant(physical, now, "fault:stall", phase_);
+    *extra_stall = faults_.stall_seconds();
+    faults_.stats().stall_seconds += *extra_stall;
+  }
+  return op;
+}
+
+void Machine::retry_corrupt_transfer(int logical, int physical, double bytes,
+                                     std::int64_t op, const char* name) {
+  // Checksum verification: an injected corruption fails it and forces a
+  // charged backoff + retransmission; the payload in host memory is the
+  // authoritative copy, so a verified transfer always delivers clean data.
+  double backoff = retry_.backoff_s;
+  int attempts = 0;
+  while (faults_.poll_transfer_corrupt(physical, clock_.device_time(physical),
+                                       op)) {
+    if (tracing_) {
+      trace_.record_instant(physical, clock_.device_time(physical),
+                            "fault:corrupt", phase_);
+    }
+    if (attempts++ >= retry_.max_retries) {
+      throw Error("transfer to/from device " + std::to_string(physical) +
+                      " still corrupt after " +
+                      std::to_string(retry_.max_retries) + " retries",
+                  ErrorCode::kRetriesExhausted, logical);
+    }
+    double t = backoff + model_.transfer_seconds(bytes);
+    if (topo_.node_of(physical) != 0) t += model_.net_seconds(bytes);
+    clock_.async_transfer(physical, t);
+    if (tracing_) {
+      trace_.record(physical, clock_.device_time(physical) - t,
+                    clock_.device_time(physical), name, phase_);
+    }
+    ++faults_.stats().transfer_retries;
+    faults_.stats().retry_seconds += t;
+    backoff *= retry_.backoff_mult;
+  }
 }
 
 void Machine::mark_phase() {
@@ -66,15 +149,17 @@ void Machine::set_phase(const std::string& phase) {
 }
 
 void Machine::charge_device(int d, Kernel k, double flops, double bytes) {
+  const int p = physical_device(d);
+  if (faults_.armed()) poll_faults_kernel(d, p);
   const double t = model_.device_seconds(k, flops, bytes);
-  clock_.device_advance(d, t);
+  clock_.device_advance(p, t);
   if (tracing_) {
-    trace_.record(d, clock_.device_time(d) - t, clock_.device_time(d),
+    trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p),
                   kernel_name(k), phase_);
   }
-  counters_.dev_flops[static_cast<std::size_t>(d)] += flops;
-  counters_.dev_bytes[static_cast<std::size_t>(d)] += bytes;
-  ++counters_.dev_kernels[static_cast<std::size_t>(d)];
+  counters_.dev_flops[static_cast<std::size_t>(p)] += flops;
+  counters_.dev_bytes[static_cast<std::size_t>(p)] += bytes;
+  ++counters_.dev_kernels[static_cast<std::size_t>(p)];
   const auto ki = static_cast<std::size_t>(kernel_index(k));
   counters_.kernel_flops[ki] += flops;
   counters_.kernel_seconds[ki] += t;
@@ -96,44 +181,59 @@ void Machine::d2h(int d, double bytes) {
   // A message from a remote node travels GPU -> local host -> network ->
   // coordinating host; the serial path is folded into the device timeline
   // (the device-side data is in flight either way).
-  double t = model_.transfer_seconds(bytes);
+  const int p = physical_device(d);
+  double stall = 0.0;
+  std::int64_t op = 0;
+  if (faults_.armed()) op = poll_faults_transfer_pre(d, p, &stall);
+  double t = model_.transfer_seconds(bytes) + stall;
   if (is_remote(d)) {
     t += model_.net_seconds(bytes);
     counters_.net_bytes += bytes;
     ++counters_.net_msgs;
   }
-  clock_.async_transfer(d, t);
+  clock_.async_transfer(p, t);
   if (tracing_) {
-    trace_.record(d, clock_.device_time(d) - t, clock_.device_time(d), "d2h",
+    trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p), "d2h",
                   phase_);
   }
   counters_.d2h_bytes += bytes;
   ++counters_.d2h_msgs;
+  if (faults_.armed()) retry_corrupt_transfer(d, p, bytes, op, "retry:d2h");
   mark_phase();
 }
 
 void Machine::h2d(int d, double bytes) {
-  double t = model_.transfer_seconds(bytes);
+  const int p = physical_device(d);
+  double stall = 0.0;
+  std::int64_t op = 0;
+  if (faults_.armed()) op = poll_faults_transfer_pre(d, p, &stall);
+  double t = model_.transfer_seconds(bytes) + stall;
   if (is_remote(d)) {
     t += model_.net_seconds(bytes);
     counters_.net_bytes += bytes;
     ++counters_.net_msgs;
   }
-  clock_.async_transfer(d, t);
+  clock_.async_transfer(p, t);
   if (tracing_) {
-    trace_.record(d, clock_.device_time(d) - t, clock_.device_time(d), "h2d",
+    trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p), "h2d",
                   phase_);
   }
   counters_.h2d_bytes += bytes;
   ++counters_.h2d_msgs;
+  if (faults_.armed()) retry_corrupt_transfer(d, p, bytes, op, "retry:h2d");
   mark_phase();
 }
 
 void Machine::reset() {
   clock_.reset();
-  counters_ = Counters(n_devices());
+  counters_ = Counters(n_physical_devices());
   phases_.clear();
   trace_.clear();
+  faults_.reset();
+  dev_map_.resize(static_cast<std::size_t>(n_physical_devices()));
+  std::iota(dev_map_.begin(), dev_map_.end(), 0);
+  std::fill(dev_ops_.begin(), dev_ops_.end(), 0);
+  std::fill(dev_poison_.begin(), dev_poison_.end(), 0);
   phase_mark_ = 0.0;
 }
 

@@ -14,6 +14,7 @@
 
 #include "blas/matrix.hpp"
 #include "sim/clock.hpp"
+#include "sim/fault.hpp"
 #include "sim/perf_model.hpp"
 #include "sim/phase_timers.hpp"
 #include "sim/trace.hpp"
@@ -69,8 +70,24 @@ struct Topology {
   int node_of(int device) const { return device / gpus_per_node; }
 };
 
+/// Bounded retry with exponential backoff for checksum-failed transfers.
+/// The retransmission and every backoff interval are charged to the
+/// simulated clock; when the budget is exhausted the machine throws
+/// Error(kRetriesExhausted) and the resilient solvers retire the device.
+struct RetryPolicy {
+  int max_retries = 4;
+  double backoff_s = 50e-6;   ///< first backoff interval
+  double backoff_mult = 2.0;  ///< exponential growth per attempt
+};
+
 /// The simulated node: n devices + host, a perf model, a clock, counters,
 /// and phase attribution of elapsed time.
+///
+/// Devices are addressed by *logical* index 0..n_devices()-1. Initially the
+/// logical and physical (timeline/counter) ids coincide; when a device
+/// suffers a permanent injected failure the solver calls retire_device and
+/// the surviving physical devices are relabelled 0..n_devices()-2, so all
+/// existing device loops keep working on the shrunken machine.
 class Machine {
  public:
   /// Single-node machine with `n_devices` GPUs (the paper's testbed shape).
@@ -79,10 +96,17 @@ class Machine {
   /// Multi-node machine (the §VII projection).
   Machine(Topology topology, PerfModel model = {});
 
-  int n_devices() const { return clock_.n_devices(); }
+  /// Active (non-retired) device count.
+  int n_devices() const { return static_cast<int>(dev_map_.size()); }
+  /// Devices the machine was constructed with (counters/timelines size).
+  int n_physical_devices() const { return clock_.n_devices(); }
+  /// Physical timeline id behind logical device d.
+  int physical_device(int d) const {
+    return dev_map_[static_cast<std::size_t>(d)];
+  }
   const Topology& topology() const { return topo_; }
   /// Node the device lives on (0 = the coordinating node).
-  int node_of(int d) const { return topo_.node_of(d); }
+  int node_of(int d) const { return topo_.node_of(physical_device(d)); }
   /// True when messages to/from this device cross the network.
   bool is_remote(int d) const { return node_of(d) != 0; }
   const PerfModel& perf() const { return model_; }
@@ -106,9 +130,35 @@ class Machine {
   void h2d(int d, double bytes);
 
   /// Host blocks until device d (and its copy queue) is done.
-  void host_wait(int d) { mark_phase(); clock_.host_wait(d); }
+  void host_wait(int d) { mark_phase(); clock_.host_wait(physical_device(d)); }
   void host_wait_all() { mark_phase(); clock_.host_wait_all(); }
   void sync_all() { mark_phase(); clock_.sync_all(); }
+
+  // --- fault injection and recovery -----------------------------------
+  /// The fault scheduler; configure it (events/rates/seed) before solving.
+  FaultInjector& fault_injector() { return faults_; }
+  const FaultInjector& fault_injector() const { return faults_; }
+  /// Shorthand: true when any fault schedule is configured. The resilient
+  /// solver paths (checkpoints, scrubs) only engage when armed, so a
+  /// zero-fault machine behaves bit-identically to one without this layer.
+  bool faults_armed() const { return faults_.armed(); }
+
+  RetryPolicy& retry_policy() { return retry_; }
+
+  /// Consumes the "this device's last kernel was poisoned" latch set by an
+  /// injected kKernelNan fault; the charged kernel wrappers call this and
+  /// overwrite their output with NaN when it returns true.
+  bool consume_kernel_fault(int d) {
+    const auto p = static_cast<std::size_t>(physical_device(d));
+    const bool hit = dev_poison_[p] != 0;
+    dev_poison_[p] = 0;
+    return hit;
+  }
+
+  /// Removes logical device d from the machine after a permanent failure;
+  /// the surviving devices are relabelled contiguously. Requires at least
+  /// one survivor. The physical timeline keeps its (frozen) history.
+  void retire_device(int d);
 
   /// Attributes subsequently elapsed simulated time to `phase`.
   void set_phase(const std::string& phase);
@@ -119,11 +169,23 @@ class Machine {
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
 
-  /// Resets the clock, counters, trace, and phase attribution.
+  /// Resets the clock, counters, trace, phase attribution, retired-device
+  /// map, and the fault injector's fired/stats state (the schedule itself
+  /// is kept, so the same faults replay identically).
   void reset();
 
  private:
   void mark_phase();
+  /// Pre-op fault gate for one physical device: advances its op counter,
+  /// throws Error(kDeviceFault) if it is (or just became) dead, and latches
+  /// the NaN-poison flag on an injected kernel fault. Returns the op index.
+  std::int64_t poll_faults_kernel(int logical, int physical);
+  std::int64_t poll_faults_transfer_pre(int logical, int physical,
+                                        double* extra_stall);
+  /// Post-charge corruption check: charges bounded retransmissions with
+  /// backoff; throws Error(kRetriesExhausted) when the budget runs out.
+  void retry_corrupt_transfer(int logical, int physical, double bytes,
+                              std::int64_t op, const char* name);
 
   PerfModel model_;
   Topology topo_;
@@ -131,6 +193,11 @@ class Machine {
   Counters counters_;
   PhaseTimers phases_;
   Trace trace_;
+  FaultInjector faults_;
+  RetryPolicy retry_;
+  std::vector<int> dev_map_;              ///< logical -> physical
+  std::vector<std::int64_t> dev_ops_;     ///< per-physical op counter
+  std::vector<char> dev_poison_;          ///< per-physical NaN latch
   bool tracing_ = false;
   std::string phase_ = "other";
   double phase_mark_ = 0.0;

@@ -12,6 +12,11 @@ void Trace::record(int device, double t_start, double t_end, std::string name,
       {device, t_start, t_end, std::move(name), std::move(phase)});
 }
 
+void Trace::record_instant(int device, double t, std::string name,
+                           std::string phase) {
+  events_.push_back({device, t, t, std::move(name), std::move(phase)});
+}
+
 void Trace::write_chrome_json(std::ostream& out) const {
   out << "{\"traceEvents\":[";
   bool first = true;

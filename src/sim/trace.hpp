@@ -30,6 +30,12 @@ class Trace {
   void record(int device, double t_start, double t_end, std::string name,
               std::string phase);
 
+  /// Zero-duration marker on a timeline (fault injections: "fault:kill",
+  /// "fault:nan", "fault:corrupt", "fault:stall"). Rendered by Chrome
+  /// tracing as an instant tick at the injection point.
+  void record_instant(int device, double t, std::string name,
+                      std::string phase);
+
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear() { events_.clear(); }
 
