@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/error.hpp"
 #include "common/options.hpp"
 #include "core/cagmres.hpp"
 #include "sparse/generators.hpp"
@@ -27,6 +28,14 @@ int main(int argc, char** argv) {
            "fault schedule, e.g. \"seed=42;kill:d1@t=5ms;nan:p=0.001;"
            "corrupt:p=0.01\" (kinds: kill nan corrupt stall; one-shot "
            "triggers d<i>|*@t=<time>|op=<n>, rates kind:p=<prob>)");
+  opts.add("health", "0",
+           "arm the numerical health monitors (condition, false-convergence "
+           "guard, stagnation watchdog) and the escalation ladder");
+  opts.add("deadline", "0",
+           "simulated-milliseconds budget for the solve; 0 = unlimited "
+           "(overrun exits with a deadline_exceeded error)");
+  opts.add("budget", "0",
+           "basis-vector (iteration) budget; 0 = unlimited (same error)");
   if (!opts.parse(argc, argv)) return 0;
 
   const sparse::CsrMatrix a = sparse::make_cant_like(0.5);
@@ -44,7 +53,28 @@ int main(int argc, char** argv) {
   so.m = opts.get_int("m");
   so.s = opts.get_int("s");
   so.max_restarts = opts.get_int("max_restarts");
-  const core::SolveResult res = core::ca_gmres(machine, p, so);
+  if (opts.get_bool("health")) {
+    so.health.monitor_condition = true;
+    so.health.monitor_residual_gap = true;
+    so.health.monitor_stagnation = true;
+  }
+  so.health.max_solve_seconds = opts.get_double("deadline") * 1e-3;
+  so.health.max_iterations = opts.get_int("budget");
+
+  core::SolveResult res;
+  try {
+    res = core::ca_gmres(machine, p, so);
+  } catch (const Error& e) {
+    if (e.code() != ErrorCode::kDeadlineExceeded) throw;
+    // The trace (with its health:* instant events) is still worth keeping.
+    std::ofstream out(opts.get("out"));
+    machine.trace().write_chrome_json(out);
+    std::printf("solve aborted: %s\n", e.what());
+    std::printf("partial trace (%zu events, %.2f simulated ms) -> %s\n",
+                machine.trace().events().size(),
+                machine.clock().elapsed() * 1e3, opts.get("out").c_str());
+    return 1;
+  }
 
   std::ofstream out(opts.get("out"));
   machine.trace().write_chrome_json(out);
@@ -75,6 +105,30 @@ int main(int argc, char** argv) {
                 rec.time_lost * 1e3, machine.n_devices(),
                 machine.n_physical_devices(),
                 res.stats.converged ? "yes" : "no");
+  }
+
+  // With --health, every monitor trip and escalation-ladder action is an
+  // instant event on the host timeline ("health:...") and logged here.
+  const auto& hev = res.stats.health_events;
+  if (!hev.empty() || res.stats.ladder_steps > 0) {
+    std::printf("health: %zu events, %d ladder steps taken\n", hev.size(),
+                res.stats.ladder_steps);
+    for (const auto& e : hev) {
+      std::printf("  [%8.3f ms] restart %d iter %d: %s", e.time * 1e3,
+                  e.restart, e.iteration, core::to_string(e.kind).c_str());
+      if (e.action != core::EscalationStep::kNone) {
+        std::printf(" -> %s", core::to_string(e.action).c_str());
+      }
+      if (!e.detail.empty()) std::printf(" (%s)", e.detail.c_str());
+      std::printf("\n");
+    }
+  }
+  if (res.stats.recurrence_residual >= 0.0 && res.stats.residual_gap > 0.0) {
+    std::printf("residuals at exit: true %.3e, recurrence %.3e; "
+                "true/recurrence gap at last restart check %.2fx "
+                "(worst %.2fx)\n\n",
+                res.stats.final_residual, res.stats.recurrence_residual,
+                res.stats.residual_gap, res.stats.residual_gap_max);
   }
 
   // Per-kernel-class breakdown of the device work (the counters behind the

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: the tier-1 suite under the default preset, then the
+# sanitize-labeled suites rebuilt and rerun under asan-ubsan. Run from
+# anywhere; everything happens relative to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== default preset: configure + build + full test suite =="
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default -j
+
+echo
+echo "== asan-ubsan preset: configure + build + sanitize-labeled tests =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j
+ctest --preset asan-ubsan -j
+
+echo
+echo "All checks passed."

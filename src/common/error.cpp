@@ -14,6 +14,8 @@ std::string to_string(ErrorCode code) {
       return "device_fault";
     case ErrorCode::kRetriesExhausted:
       return "retries_exhausted";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "?";
 }

@@ -22,6 +22,9 @@ enum class ErrorCode {
   kBreakdown,         ///< numerical breakdown (rank loss, failed Cholesky)
   kDeviceFault,       ///< a simulated device failed permanently
   kRetriesExhausted,  ///< bounded retry/replay loop gave up
+  kDeadlineExceeded,  ///< a solve overran its iteration/simulated-time
+                      ///< budget, or stagnated after the escalation ladder
+                      ///< was exhausted (core/health.hpp)
 };
 
 std::string to_string(ErrorCode code);

@@ -70,12 +70,30 @@ bool Options::get_bool(const std::string& key) const {
 }
 
 std::vector<int> Options::get_int_list(const std::string& key) const {
+  const std::string raw = get(key);
   std::vector<int> out;
-  std::stringstream ss(get(key));
+  if (raw.empty()) return out;
+  std::stringstream ss(raw);
   std::string tok;
+  bool last_was_sep = true;  // getline drops a trailing empty token
   while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) out.push_back(std::stoi(tok));
+    last_was_sep = !ss.eof();
+    CAGMRES_REQUIRE(!tok.empty(), "--" + key + "='" + raw +
+                                      "': empty entry in integer list");
+    std::size_t pos = 0;
+    int value = 0;
+    try {
+      value = std::stoi(tok, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    CAGMRES_REQUIRE(pos == tok.size(), "--" + key + "='" + raw +
+                                           "': bad integer entry '" + tok +
+                                           "'");
+    out.push_back(value);
   }
+  CAGMRES_REQUIRE(!last_was_sep, "--" + key + "='" + raw +
+                                     "': empty entry in integer list");
   return out;
 }
 

@@ -124,6 +124,106 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   int s_current = s;
   int clean_streak = 0;
 
+  // --- numerical health monitor + escalation ladder (core/health.hpp) ---
+  LadderCapabilities caps;
+  caps.force_reorth = !opts.reorthogonalize;
+  caps.shrink_s = true;
+  caps.rebuild_shifts = (opts.basis == Basis::kNewton);
+  for (ortho::Method t = opts.tsqr;;) {
+    const ortho::Method n = ortho::more_robust_method(t);
+    if (n == t) break;
+    ++caps.tsqr_switches;
+    t = n;
+  }
+  caps.fallback_gmres = true;
+  SolveHealthMonitor hm(machine, opts.health, caps, t0);
+  const bool health_on = hm.armed();
+
+  // Ladder-mutable solver state. Only ladder actions touch these, and the
+  // ladder only runs off armed monitors, so an unmonitored solve behaves
+  // byte-identically to the pre-health code.
+  ortho::Method tsqr_current = opts.tsqr;
+  bool force_reorth = false;
+  bool ladder_shrunk_s = false;  // use s_current even without adaptive_s
+  bool fallback_gmres = false;
+  blas::DMat last_h;  // freshest Hessenberg, kept for a shift rebuild
+  int last_h_k = 0;
+  double prev_recurrence = -1.0;  // previous cycle's LS residual estimate
+  bool prev_claimed = false;      // ... and whether it met the tolerance
+
+  auto rung_applicable = [&](EscalationStep a) {
+    switch (a) {
+      case EscalationStep::kForceReorth:
+        return !force_reorth;
+      case EscalationStep::kShrinkS:
+        return s_current > opts.adaptive_min_s;
+      case EscalationStep::kRebuildShifts:
+        return have_shifts && last_h_k > 1;
+      case EscalationStep::kSwitchTsqr:
+        return ortho::more_robust_method(tsqr_current) != tsqr_current;
+      case EscalationStep::kFallbackGmres:
+        return !fallback_gmres;
+      default:
+        return false;
+    }
+  };
+  auto apply_rung = [&](EscalationStep a) {
+    switch (a) {
+      case EscalationStep::kForceReorth:
+        force_reorth = true;
+        break;
+      case EscalationStep::kShrinkS:
+        s_current = std::max(opts.adaptive_min_s, s_current / 2);
+        ladder_shrunk_s = true;
+        clean_streak = 0;
+        break;
+      case EscalationStep::kRebuildShifts: {
+        // Ritz values of the freshest Hessenberg, exactly like the initial
+        // harvest (same host charge).
+        blas::DMat h_sq(last_h_k, last_h_k);
+        for (int j = 0; j < last_h_k; ++j) {
+          for (int i = 0; i < last_h_k; ++i) h_sq(i, j) = last_h(i, j);
+        }
+        step_shifts = newton_shifts(blas::hessenberg_eig(h_sq), s);
+        machine.charge_host(sim::Kernel::kGeqrf,
+                            10.0 * static_cast<double>(last_h_k) * last_h_k *
+                                last_h_k,
+                            0.0);
+        break;
+      }
+      case EscalationStep::kSwitchTsqr:
+        tsqr_current = ortho::more_robust_method(tsqr_current);
+        break;
+      case EscalationStep::kFallbackGmres:
+        fallback_gmres = true;
+        break;
+      default:
+        break;
+    }
+    ++st.ladder_steps;
+  };
+  // One trip -> at most one rung. A progress-class trip that finds the
+  // ladder exhausted stops the solve instead of burning the whole restart
+  // budget on a solve that is going nowhere.
+  auto respond = [&](HealthEventKind cause, int restart_no) {
+    if (!opts.health.escalate) return;
+    const double value =
+        hm.events().empty() ? 0.0 : hm.events().back().value;
+    const EscalationStep a =
+        hm.escalate(cause, value, restart_no, st.iterations, rung_applicable);
+    if (a != EscalationStep::kNone) {
+      apply_rung(a);
+      return;
+    }
+    if (cause == HealthEventKind::kStagnation ||
+        cause == HealthEventKind::kDivergence ||
+        cause == HealthEventKind::kFalseConvergence) {
+      CAGMRES_REQUIRE_CODE(
+          false, ErrorCode::kDeadlineExceeded,
+          "escalation ladder exhausted while the solve was not progressing");
+    }
+  };
+
   // Restart = checkpoint: the last solution whose residual was proven
   // finite, in prepared row order (valid across repartitions).
   std::vector<double> x_ckpt;
@@ -197,16 +297,35 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         }
       }
       st.residual_history.push_back(res);
-      if (res <= opts.tol * st.initial_residual) {
+      const bool unconverged = res > opts.tol * st.initial_residual;
+      if (health_on) {
+        // False-convergence guard: the explicit residual just computed vs
+        // the previous cycle's recurrence estimate.
+        const HealthEventKind gap_trip = hm.check_residual_gap(
+            res, prev_recurrence, prev_claimed, unconverged, restart,
+            st.iterations);
+        if (gap_trip != HealthEventKind::kNone && unconverged) {
+          respond(gap_trip, restart);
+        }
+      }
+      if (!unconverged) {
         st.converged = true;
         break;
+      }
+      if (health_on) {
+        const HealthEventKind prog_trip =
+            hm.check_progress(res, restart, st.iterations);
+        if (prog_trip != HealthEventKind::kNone) respond(prog_trip, restart);
+        hm.check_budget(st.iterations, restart);
       }
       for (int d = 0; d < ng; ++d) {
         sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
       }
 
-      if (!have_shifts) {
-        // First restart: standard GMRES cycle, then harvest Ritz values.
+      if (!have_shifts || fallback_gmres) {
+        // First restart (standard GMRES cycle to harvest Ritz values), or
+        // the ladder's terminal rung running the remaining budget as
+        // standard GMRES.
         detail::CycleOutcome cycle = detail::arnoldi_cycle(
             machine, *spmv, v, mm, opts.gmres_orth, res,
             opts.tol * st.initial_residual,
@@ -217,17 +336,28 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         st.iterations += cycle.k;
         ++st.restarts;
         ++restart;
-        if (cycle.k == 0) continue;  // poisoned cycle: retry next restart
-        blas::DMat h_sq(cycle.k, cycle.k);
-        for (int j = 0; j < cycle.k; ++j) {
-          for (int i = 0; i < cycle.k; ++i) h_sq(i, j) = cycle.h(i, j);
+        if (cycle.k == 0) {
+          prev_recurrence = -1.0;  // no usable estimate from this cycle
+          continue;                // poisoned cycle: retry next restart
         }
-        step_shifts = newton_shifts(blas::hessenberg_eig(h_sq), s);
-        machine.charge_host(sim::Kernel::kGeqrf,
-                            10.0 * static_cast<double>(cycle.k) * cycle.k *
-                                cycle.k,
-                            0.0);
-        have_shifts = true;
+        prev_recurrence = cycle.ls_residual;
+        prev_claimed = cycle.ls_residual <= opts.tol * st.initial_residual;
+        if (health_on) {
+          last_h = cycle.h;
+          last_h_k = cycle.k;
+        }
+        if (!have_shifts) {
+          blas::DMat h_sq(cycle.k, cycle.k);
+          for (int j = 0; j < cycle.k; ++j) {
+            for (int i = 0; i < cycle.k; ++i) h_sq(i, j) = cycle.h(i, j);
+          }
+          step_shifts = newton_shifts(blas::hessenberg_eig(h_sq), s);
+          machine.charge_host(sim::Kernel::kGeqrf,
+                              10.0 * static_cast<double>(cycle.k) * cycle.k *
+                                  cycle.k,
+                              0.0);
+          have_shifts = true;
+        }
         continue;
       }
 
@@ -245,9 +375,12 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
       int done = 1;
       bool cycle_converged = false;
       bool cycle_tainted = false;
+      double cycle_ls_res = -1.0;
       while (done < mm + 1) {
-        const int steps =
-            std::min(opts.adaptive_s ? s_current : s, mm + 1 - done);
+        if (health_on) hm.check_budget(st.iterations, restart);
+        const int steps = std::min(
+            (opts.adaptive_s || ladder_shrunk_s) ? s_current : s,
+            mm + 1 - done);
         is_block_start[static_cast<std::size_t>(done) - 1] = 1;
         const Shifts bs = block_shifts(step_shifts, steps);
         for (int i = 0; i < steps; ++i) {
@@ -305,11 +438,11 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
             if (opts.collect_tsqr_errors) pre_tsqr = snapshot_block();
             {
               sim::PhaseScope phase(machine, "tsqr");
-              tq = ortho::tsqr(machine, opts.tsqr, v, done, done + steps,
+              tq = ortho::tsqr(machine, tsqr_current, v, done, done + steps,
                                opts.tsqr_opts);
             }
             if (opts.collect_tsqr_errors) record_errors(pre_tsqr, tq.r, 0);
-            block_reorthed = opts.reorthogonalize ||
+            block_reorthed = opts.reorthogonalize || force_reorth ||
                              (tq.breakdown && opts.reorth_on_breakdown);
             if (block_reorthed) {
               blas::DMat c2;
@@ -321,7 +454,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
               ortho::TsqrResult tq2;
               {
                 sim::PhaseScope phase(machine, "tsqr");
-                tq2 = ortho::tsqr(machine, opts.tsqr, v, done, done + steps,
+                tq2 = ortho::tsqr(machine, tsqr_current, v, done, done + steps,
                                   opts.tsqr_opts);
               }
               if (opts.collect_tsqr_errors) record_errors(pre_tsqr, tq2.r, 1);
@@ -384,6 +517,15 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         }
         if (block_reorthed) ++st.reorth_blocks;
 
+        if (health_on) {
+          // Basis-condition monitor on the committed block: free R-diagonal
+          // estimate plus the charged Gram sample on its cadence. A trip
+          // hardens the *next* block (this one is already orthogonalized).
+          const HealthEventKind cond_trip = hm.check_block(
+              tq.r, v, done, done + steps, restart, st.iterations);
+          if (cond_trip != HealthEventKind::kNone) respond(cond_trip, restart);
+        }
+
         // Record the block's columns of the global triangular factor.
         for (int i = 0; i < steps; ++i) {
           const int col = done + i;
@@ -414,6 +556,11 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         double ls_res = 0.0;
         const std::vector<double> y =
             blas::solve_hessenberg_ls(h, res, &ls_res);
+        cycle_ls_res = ls_res;
+        if (health_on) {
+          last_h = h;  // freshest Hessenberg for a possible shift rebuild
+          last_h_k = k;
+        }
         if (ls_res <= opts.tol * st.initial_residual || done == mm + 1) {
           detail::update_solution(machine, v, k, y, xwork);
           if (k > 0) x_is_zero = false;
@@ -431,12 +578,16 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         ++st.recovery.rollbacks;
         detail::restore_x(machine, xwork, x_ckpt);
         x_is_zero = x_ckpt_zero;
+        prev_recurrence = -1.0;  // discarded cycle: no estimate to compare
         continue;
       }
       tainted_rollbacks = 0;
       ++st.restarts;
       ++restart;
-      static_cast<void>(cycle_converged);  // true residual decides at top
+      // The true residual decides at the top of the next restart; the
+      // recurrence estimate feeds the false-convergence guard there.
+      prev_recurrence = cycle_ls_res;
+      prev_claimed = cycle_converged;
     } catch (const Error& e) {
       // Only injected hardware faults are recoverable, and only while at
       // least two devices survive; anything else propagates.
@@ -450,6 +601,10 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
     }
   }
   st.final_residual = res;
+  st.health_events = hm.take_events();
+  st.recurrence_residual = prev_recurrence;
+  st.residual_gap = hm.residual_gap_last();
+  st.residual_gap_max = hm.residual_gap_max();
 
   st.time_total = machine.clock().elapsed() - t0;
   const sim::PhaseTimers& ph = machine.phases();

@@ -239,6 +239,39 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   const double t0 = machine.clock().elapsed();
   const sim::PhaseTimers phases0 = machine.phases();
 
+  // --- numerical health monitor + escalation ladder (core/health.hpp) ---
+  // GMRES's ladder has one rung: downshift the per-iteration Orth from CGS
+  // to the more stable MGS. With no monitor armed the solver charges and
+  // computes exactly what it did before this layer existed.
+  LadderCapabilities caps;
+  caps.switch_orth = (opts.gmres_orth == ortho::Method::kCgs);
+  SolveHealthMonitor hm(machine, opts.health, caps, t0);
+  const bool health_on = hm.armed();
+  ortho::Method orth_current = opts.gmres_orth;
+  double prev_recurrence = -1.0;  // previous cycle's LS residual estimate
+  bool prev_claimed = false;      // ... and whether it met the tolerance
+  auto respond = [&](HealthEventKind cause, int restart_no) {
+    if (!opts.health.escalate) return;
+    const double value = hm.events().empty() ? 0.0 : hm.events().back().value;
+    const EscalationStep a = hm.escalate(
+        cause, value, restart_no, st.iterations, [&](EscalationStep step) {
+          return step == EscalationStep::kSwitchOrth &&
+                 orth_current == ortho::Method::kCgs;
+        });
+    if (a == EscalationStep::kSwitchOrth) {
+      orth_current = ortho::Method::kMgs;
+      ++st.ladder_steps;
+      return;
+    }
+    if (cause == HealthEventKind::kStagnation ||
+        cause == HealthEventKind::kDivergence ||
+        cause == HealthEventKind::kFalseConvergence) {
+      CAGMRES_REQUIRE_CODE(
+          false, ErrorCode::kDeadlineExceeded,
+          "escalation ladder exhausted while the solve was not progressing");
+    }
+  };
+
   // Restart = checkpoint: the last solution whose residual was proven
   // finite, in prepared row order (valid across repartitions).
   std::vector<double> x_ckpt;
@@ -305,21 +338,41 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
         }
       }
       st.residual_history.push_back(res);
-      if (res <= opts.tol * st.initial_residual) {
+      const bool unconverged = res > opts.tol * st.initial_residual;
+      if (health_on) {
+        // False-convergence guard: the explicit residual just computed vs
+        // the previous cycle's recurrence estimate.
+        const HealthEventKind gap_trip = hm.check_residual_gap(
+            res, prev_recurrence, prev_claimed, unconverged, restart,
+            st.iterations);
+        if (gap_trip != HealthEventKind::kNone && unconverged) {
+          respond(gap_trip, restart);
+        }
+      }
+      if (!unconverged) {
         st.converged = true;
         break;
+      }
+      if (health_on) {
+        const HealthEventKind prog_trip =
+            hm.check_progress(res, restart, st.iterations);
+        if (prog_trip != HealthEventKind::kNone) respond(prog_trip, restart);
+        hm.check_budget(st.iterations, restart);
       }
       for (int d = 0; d < machine.n_devices(); ++d) {
         sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
       }
       detail::CycleOutcome cycle = detail::arnoldi_cycle(
-          machine, *spmv, v, opts.m, opts.gmres_orth, res,
+          machine, *spmv, v, opts.m, orth_current, res,
           opts.tol * st.initial_residual,
           resilient ? opts.max_block_replays : 0);
       st.recovery.blocks_replayed += cycle.replays;
       detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
       if (cycle.k > 0) x_is_zero = false;
       st.iterations += cycle.k;
+      prev_recurrence = cycle.k > 0 ? cycle.ls_residual : -1.0;
+      prev_claimed =
+          cycle.k > 0 && cycle.ls_residual <= opts.tol * st.initial_residual;
       ++st.restarts;
       ++restart;
     } catch (const Error& e) {
@@ -335,6 +388,10 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
     }
   }
   st.final_residual = res;
+  st.health_events = hm.take_events();
+  st.recurrence_residual = prev_recurrence;
+  st.residual_gap = hm.residual_gap_last();
+  st.residual_gap_max = hm.residual_gap_max();
 
   st.time_total = machine.clock().elapsed() - t0;
   const sim::PhaseTimers& ph = machine.phases();

@@ -138,7 +138,31 @@ Shifts block_shifts(const Shifts& shifts, int steps) {
   if (steps >= 1 && out.im[static_cast<std::size_t>(steps) - 1] > 0.0) {
     out.im[static_cast<std::size_t>(steps) - 1] = 0.0;
   }
+  CAGMRES_ASSERT(shifts_consistent(out), "block_shifts broke a pair");
   return out;
+}
+
+bool shifts_consistent(const Shifts& shifts) {
+  if (shifts.re.size() != shifts.im.size()) return false;
+  const int n = shifts.size();
+  for (int k = 0; k < n; ++k) {
+    const double im = shifts.im[static_cast<std::size_t>(k)];
+    if (im > 0.0) {
+      // First member of a pair: the conjugate must sit right after it.
+      if (k + 1 >= n ||
+          shifts.im[static_cast<std::size_t>(k) + 1] != -im ||
+          shifts.re[static_cast<std::size_t>(k) + 1] !=
+              shifts.re[static_cast<std::size_t>(k)]) {
+        return false;
+      }
+    } else if (im < 0.0) {
+      // Second member: must be preceded by its conjugate.
+      if (k == 0 || shifts.im[static_cast<std::size_t>(k) - 1] != -im) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace cagmres::core

@@ -41,4 +41,11 @@ Shifts newton_shifts(const std::vector<std::complex<double>>& ritz, int s);
 /// produces a valid Krylov basis — only conditioning is affected).
 Shifts block_shifts(const Shifts& shifts, int steps);
 
+/// True when the sequence is a valid real-storage shift train: every entry
+/// with im != 0 belongs to an adjacent (+beta, -beta) pair with matching
+/// real parts. newton_shifts and block_shifts only ever produce consistent
+/// trains; the adaptive-s controller and the escalation ladder rely on this
+/// when they shrink the working block size mid-solve.
+bool shifts_consistent(const Shifts& shifts);
+
 }  // namespace cagmres::core

@@ -44,10 +44,39 @@ double orthogonality_error(const sim::DistMultiVec& q, int c0, int c1) {
 double condition_number(const sim::DistMultiVec& v, int c0, int c1) {
   const blas::DMat g = block_gram(v, c0, c1);
   const blas::EighResult eig = blas::jacobi_eigh(g);
-  const double lmax = std::max(eig.w.front(), 0.0);
-  const double lmin = std::max(eig.w.back(), 0.0);
-  if (lmin <= 0.0) return std::numeric_limits<double>::infinity();
+  // Roundoff pushes the small eigenvalues of a near-singular Gram matrix
+  // slightly negative (and a poisoned block makes them NaN); scan and clamp
+  // before the sqrt so callers always see inf/huge kappa, never NaN.
+  double lmax = 0.0;
+  double lmin = std::numeric_limits<double>::infinity();
+  for (const double w : eig.w) {
+    if (!std::isfinite(w)) return std::numeric_limits<double>::infinity();
+    lmax = std::max(lmax, w);
+    lmin = std::min(lmin, w);
+  }
+  lmin = std::max(lmin, 0.0);
+  if (lmin == 0.0 || lmax <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
   return std::sqrt(lmax / lmin);
+}
+
+double condition_number_charged(sim::Machine& m, const sim::DistMultiVec& v,
+                                int c0, int c1) {
+  const int k = c1 - c0;
+  // Priced like the CholQR Gram step it duplicates: one SYRK per device
+  // over the panel, the k x k reduction to the host, and the host-side
+  // Jacobi sweeps.
+  for (int d = 0; d < v.n_parts(); ++d) {
+    const double rows = static_cast<double>(v.local_rows(d));
+    m.charge_device(d, sim::Kernel::kGemm, rows * k * k,
+                    8.0 * (rows * k + static_cast<double>(k) * k));
+    m.d2h(d, 8.0 * static_cast<double>(k) * k);
+  }
+  m.host_wait_all();
+  m.charge_host(sim::Kernel::kSmall, 30.0 * static_cast<double>(k) * k * k,
+                0.0);
+  return condition_number(v, c0, c1);
 }
 
 OrthoErrors measure_errors(const sim::DistMultiVec& q,

@@ -27,7 +27,16 @@ OrthoErrors measure_errors(const sim::DistMultiVec& q,
 double orthogonality_error(const sim::DistMultiVec& q, int c0, int c1);
 
 /// 2-norm condition number of the block's columns, via the eigenvalues of
-/// its Gram matrix: kappa(V) = sqrt(lambda_max / lambda_min).
+/// its Gram matrix: kappa(V) = sqrt(lambda_max / lambda_min). Tiny negative
+/// eigenvalues from roundoff are clamped, so a near-singular (or poisoned)
+/// block reports inf/huge kappa rather than NaN.
 double condition_number(const sim::DistMultiVec& v, int c0, int c1);
+
+/// In-solve variant for the health monitor (core/health.hpp): same kappa,
+/// but the Gram accumulation, its reduction to the host, and the host
+/// eigensolve are charged to the simulated clock — the monitor pays for the
+/// device data it touches.
+double condition_number_charged(sim::Machine& machine,
+                                const sim::DistMultiVec& v, int c0, int c1);
 
 }  // namespace cagmres::ortho

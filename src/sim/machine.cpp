@@ -148,6 +148,11 @@ void Machine::set_phase(const std::string& phase) {
   phases_.set_current(phase);
 }
 
+void Machine::trace_instant(const std::string& name,
+                            const std::string& phase) {
+  if (tracing_) trace_.record_instant(-1, clock_.elapsed(), name, phase);
+}
+
 void Machine::charge_device(int d, Kernel k, double flops, double bytes) {
   const int p = physical_device(d);
   if (faults_.armed()) poll_faults_kernel(d, p);

@@ -163,6 +163,13 @@ class Machine {
   /// Attributes subsequently elapsed simulated time to `phase`.
   void set_phase(const std::string& phase);
 
+  /// Records a zero-duration marker on the host timeline at the current
+  /// simulated time when tracing (no-op otherwise). The numerical health
+  /// monitor uses this for trips and escalation-ladder actions
+  /// ("health:stagnation", "health:escalate:shrink_s", ...), mirroring how
+  /// fault injections are marked on the victim device's timeline.
+  void trace_instant(const std::string& name, const std::string& phase);
+
   /// Starts/stops recording every charged operation into trace().
   void enable_trace(bool on = true) { tracing_ = on; }
   bool tracing() const { return tracing_; }

@@ -88,6 +88,30 @@ TEST(Options, ParsesAllForms) {
   EXPECT_EQ(opts.get_int_list("list"), (std::vector<int>{3, 4, 5}));
 }
 
+TEST(Options, IntListRejectsEmptyAndGarbageEntries) {
+  Options opts("test");
+  opts.add("s", "1,2", "an int list");
+  auto set = [&](const char* value) {
+    const std::string arg = std::string("--s=") + value;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(opts.parse(2, const_cast<char**>(argv)));
+  };
+  set("1,,4");  // empty middle entry must not be silently skipped
+  EXPECT_THROW(opts.get_int_list("s"), Error);
+  set("1,2,");  // trailing separator
+  EXPECT_THROW(opts.get_int_list("s"), Error);
+  set(",1");  // leading separator
+  EXPECT_THROW(opts.get_int_list("s"), Error);
+  set("1,two,3");  // non-numeric entry
+  EXPECT_THROW(opts.get_int_list("s"), Error);
+  set("1,2x");  // trailing garbage after a valid prefix
+  EXPECT_THROW(opts.get_int_list("s"), Error);
+  set("7");  // single entry still fine
+  EXPECT_EQ(opts.get_int_list("s"), (std::vector<int>{7}));
+  set("-3,0,12");  // signs and zero still fine
+  EXPECT_EQ(opts.get_int_list("s"), (std::vector<int>{-3, 0, 12}));
+}
+
 TEST(Options, DefaultsAndErrors) {
   Options opts("test");
   opts.add("x", "2.5", "a double");

@@ -76,6 +76,40 @@ TEST(Shifts, BlockShiftsDemoteTrailingPairFirst) {
   EXPECT_DOUBLE_EQ(b2.im[1], -0.5);
 }
 
+TEST(Shifts, ConsistencyPredicateAcceptsIntactPairsOnly) {
+  Shifts good;
+  good.re = {1.0, 1.0, 2.0};
+  good.im = {0.5, -0.5, 0.0};
+  EXPECT_TRUE(shifts_consistent(good));
+
+  Shifts orphan_open;  // +im with no conjugate following
+  orphan_open.re = {1.0, 2.0};
+  orphan_open.im = {0.5, 0.0};
+  EXPECT_FALSE(shifts_consistent(orphan_open));
+
+  Shifts orphan_close;  // -im with no conjugate preceding
+  orphan_close.re = {2.0, 1.0};
+  orphan_close.im = {0.0, -0.5};
+  EXPECT_FALSE(shifts_consistent(orphan_close));
+
+  Shifts mismatched;  // pair with different real parts
+  mismatched.re = {1.0, 3.0};
+  mismatched.im = {0.5, -0.5};
+  EXPECT_FALSE(shifts_consistent(mismatched));
+}
+
+TEST(Shifts, BlockShiftsAlwaysProduceConsistentTrains) {
+  // Every clip length of a train mixing reals and pairs must come out
+  // pair-consistent (the CA block loop relies on this at every block).
+  Shifts s;
+  s.re = {2.0, 1.0, 1.0, 0.5, 0.5, -1.0};
+  s.im = {0.0, 0.7, -0.7, 0.3, -0.3, 0.0};
+  for (int len = 1; len <= 6; ++len) {
+    const Shifts b = block_shifts(s, len);
+    EXPECT_TRUE(shifts_consistent(b)) << "clip length " << len;
+  }
+}
+
 TEST(Hessenberg, ChangeOfBasisStructure) {
   Shifts cs;
   cs.re = {2.0, 1.0, 1.0, 0.5};

@@ -1,6 +1,7 @@
 // Unit + property tests for the five TSQR procedures and BOrth
 // (paper §V, Figs. 9-10).
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -304,6 +305,53 @@ TEST(Metrics, ConditionNumberOfOrthonormalIsOne) {
   fill_random(v, rng);
   tsqr(m, Method::kCaqr, v, 0, 5);
   EXPECT_NEAR(condition_number(v, 0, 5), 1.0, 1e-6);
+}
+
+TEST(Metrics, ConditionNumberOfDependentColumnsIsInfNotNan) {
+  // Roundoff pushes the Gram matrix of exactly dependent columns to a tiny
+  // negative eigenvalue; before the clamp, sqrt turned that into NaN and
+  // every kappa comparison silently answered false.
+  Rng rng(95);
+  DistMultiVec v(split_rows(200, 2), 3);
+  fill_random(v, rng);
+  for (int d = 0; d < 2; ++d) {  // column 2 := column 0 (rank 2 panel)
+    for (int i = 0; i < v.local_rows(d); ++i) {
+      v.col(d, 2)[i] = v.col(d, 0)[i];
+    }
+  }
+  const double kappa = condition_number(v, 0, 3);
+  EXPECT_FALSE(std::isnan(kappa));
+  EXPECT_GT(kappa, 1e7);  // inf or huge, but usable in comparisons
+}
+
+TEST(Metrics, ConditionNumberOfPoisonedPanelIsInfNotNan) {
+  Rng rng(96);
+  DistMultiVec v(split_rows(200, 2), 3);
+  fill_random(v, rng);
+  v.col(0, 1)[7] = std::numeric_limits<double>::quiet_NaN();
+  const double kappa = condition_number(v, 0, 3);
+  EXPECT_FALSE(std::isnan(kappa));
+  EXPECT_TRUE(std::isinf(kappa));
+}
+
+TEST(Metrics, ChargedConditionNumberMatchesFreeAndChargesTime) {
+  sim::Machine m(2);
+  Rng rng(97);
+  DistMultiVec v(split_rows(320, 2), 4);
+  fill_random(v, rng);
+  const double before = m.clock().elapsed();
+  const double charged = condition_number_charged(m, v, 0, 4);
+  EXPECT_DOUBLE_EQ(charged, condition_number(v, 0, 4));
+  EXPECT_GT(m.clock().elapsed(), before);  // honest simulated cost
+}
+
+TEST(Tsqr, MoreRobustMethodChainsTowardCaqr) {
+  EXPECT_EQ(more_robust_method(Method::kCholQrMp), Method::kCholQr);
+  EXPECT_EQ(more_robust_method(Method::kCholQr), Method::kSvqr);
+  EXPECT_EQ(more_robust_method(Method::kSvqr), Method::kCaqr);
+  EXPECT_EQ(more_robust_method(Method::kMgs), Method::kCaqr);
+  EXPECT_EQ(more_robust_method(Method::kCgs), Method::kCaqr);
+  EXPECT_EQ(more_robust_method(Method::kCaqr), Method::kCaqr);  // fixpoint
 }
 
 TEST(Parse, MethodNames) {
