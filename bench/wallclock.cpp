@@ -1,0 +1,258 @@
+// Real wall-clock benchmark for the host execution engine (DESIGN.md §9)
+// and the cache-blocked tall-skinny BLAS paths.
+//
+// Two experiments, written to BENCH_wallclock.json:
+//
+//   1. solver_sweep — Fig. 14-style CA-GMRES and GMRES(CGS) workloads,
+//      timed with std::chrono while sweeping the host worker count
+//      (0 = inline serial legacy path, then 1, 2, n_g). The simulated
+//      seconds and iteration counts are recorded alongside so the run
+//      doubles as a byte-identity check: they must not move with the
+//      worker count. Speedup is workers=n_g over workers=0; on a
+//      single-core container (see "nproc" in the output) no speedup can
+//      materialize — the engine's scaling needs real cores.
+//
+//   2. gram_microbench — the blocked V^T·W Gram kernel and the V·R panel
+//      update in blas3.cpp against naive triple loops, single-threaded,
+//      on a panel shape (long m, narrow k) where the long dimension
+//      doesn't fit in cache. This isolates the cache-blocking win from
+//      any threading.
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "blas/blas3.hpp"
+#include "blas/matrix.hpp"
+#include "common/options.hpp"
+#include "core/cagmres.hpp"
+#include "core/gmres.hpp"
+#include "sim/machine.hpp"
+
+using namespace cagmres;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SweepRow {
+  std::string solver;
+  int workers = 0;
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  bool identical_to_serial = false;
+};
+
+// Naive references: the pre-blocking triple loops, for the microbench only.
+void gram_naive(int m, int k, const double* v, int ldv, const double* w,
+                int ldw, double* g, int ldg) {
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < k; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p < m; ++p) acc += v[i * ldv + p] * w[j * ldw + p];
+      g[j * ldg + i] = acc;
+    }
+  }
+}
+
+void panel_update_naive(int m, int k, const double* w, int ldw,
+                        const double* g, int ldg, double* v, int ldv) {
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += w[p * ldw + i] * g[j * ldg + p];
+      v[j * ldv + i] -= acc;
+    }
+  }
+}
+
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    fn();
+    const double t1 = now_seconds();
+    if (t1 - t0 < best) best = t1 - t0;
+  }
+  return best;
+}
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(
+      "Wall-clock bench: host-engine worker sweep on Fig. 14 workloads + "
+      "blocked-vs-naive tall-skinny BLAS microbench. Writes --out JSON.");
+  bench::add_matrix_options(opts, "g3_circuit", "0.5");
+  opts.add("ng", "3", "simulated device count");
+  opts.add("s", "15", "CA-GMRES step size");
+  opts.add("tol", "1e-8", "relative convergence tolerance");
+  opts.add("max-restarts", "40", "restart cap");
+  // Default sized past a big L3: at 15 columns, 1M rows is a 120 MB panel,
+  // so the naive loops pay DRAM for every re-read the blocking avoids.
+  opts.add("gram-rows", "1000000", "microbench panel rows");
+  opts.add("gram-cols", "15", "microbench panel columns (s)");
+  opts.add("reps", "3", "microbench repetitions (best-of)");
+  opts.add("smoke", "false", "tiny sizes: CI smoke run, numbers meaningless");
+  opts.add("out", "BENCH_wallclock.json", "output path");
+  if (!opts.parse(argc, argv)) return 0;
+
+  const bool smoke = opts.get_bool("smoke");
+  const double scale = smoke ? 0.15 : opts.get_double("scale");
+  const int ng = opts.get_int("ng");
+  const int gram_rows = smoke ? 20000 : opts.get_int("gram-rows");
+  const int gram_cols = opts.get_int("gram-cols");
+  const int reps = opts.get_int("reps");
+
+  const std::string matrix_name = opts.get("matrix");
+  const sparse::CsrMatrix a = sparse::make_paper_matrix(matrix_name, scale);
+  const int m = smoke ? 20 : bench::default_m(matrix_name);
+  const std::string oname = bench::default_ordering(matrix_name);
+  bench::print_header("wall-clock worker sweep — " + matrix_name, a);
+  const std::vector<double> b =
+      bench::make_rhs(a.n_rows, opts.get_int("seed"));
+  const core::Problem p =
+      core::make_problem(a, b, ng, graph::parse_ordering(oname), true, 7);
+
+  core::SolverOptions sopts;
+  sopts.m = m;
+  sopts.tol = opts.get_double("tol");
+  sopts.max_restarts = smoke ? 4 : opts.get_int("max-restarts");
+
+  std::vector<int> workers;
+  for (const int w : {0, 1, 2, ng}) {
+    if (std::find(workers.begin(), workers.end(), w) == workers.end()) {
+      workers.push_back(w);
+    }
+  }
+
+  std::vector<SweepRow> rows;
+  for (const bool ca : {false, true}) {
+    std::vector<double> x_serial;
+    for (const int w : workers) {
+      sim::Machine machine(ng);
+      machine.set_host_workers(w);
+      core::SolverOptions so = sopts;
+      if (ca) so.s = smoke ? 5 : opts.get_int("s");
+      const double t0 = now_seconds();
+      const core::SolveResult res = ca ? core::ca_gmres(machine, p, so)
+                                       : core::gmres(machine, p, so);
+      const double t1 = now_seconds();
+      SweepRow row;
+      row.solver = ca ? "ca_gmres" : "gmres_cgs";
+      row.workers = w;
+      row.wall_seconds = t1 - t0;
+      row.sim_seconds = res.stats.time_total;
+      row.iterations = res.stats.iterations;
+      row.converged = res.stats.converged;
+      if (w == 0) x_serial = res.x;
+      row.identical_to_serial = res.x == x_serial;
+      rows.push_back(row);
+      std::printf("  %-10s workers=%d  wall=%8.3fs  sim=%8.4fs  it=%d%s%s\n",
+                  row.solver.c_str(), w, row.wall_seconds, row.sim_seconds,
+                  row.iterations, row.converged ? "" : " (nc)",
+                  row.identical_to_serial ? "" : "  RESULTS DIVERGED");
+    }
+  }
+
+  // --- microbench: blocked vs naive, single thread -----------------------
+#ifdef _OPENMP
+  omp_set_num_threads(1);
+#endif
+  Rng rng(9);
+  blas::DMat v(gram_rows, gram_cols), w(gram_rows, gram_cols);
+  for (int j = 0; j < gram_cols; ++j) {
+    for (int i = 0; i < gram_rows; ++i) {
+      v(i, j) = rng.normal();
+      w(i, j) = rng.normal();
+    }
+  }
+  blas::DMat g(gram_cols, gram_cols), g_ref(gram_cols, gram_cols);
+  const double t_gram_naive = best_of(reps, [&] {
+    gram_naive(gram_rows, gram_cols, v.data(), v.ld(), w.data(), w.ld(),
+               g_ref.data(), g_ref.ld());
+  });
+  const double t_gram_blocked = best_of(reps, [&] {
+    blas::gemm(blas::Trans::T, blas::Trans::N, gram_cols, gram_cols,
+               gram_rows, 1.0, v.data(), v.ld(), w.data(), w.ld(), 0.0,
+               g.data(), g.ld());
+  });
+
+  blas::DMat upd1 = v, upd2 = v;
+  const double t_panel_naive = best_of(reps, [&] {
+    panel_update_naive(gram_rows, gram_cols, w.data(), w.ld(), g.data(),
+                       g.ld(), upd1.data(), upd1.ld());
+  });
+  const double t_panel_blocked = best_of(reps, [&] {
+    blas::gemm(blas::Trans::N, blas::Trans::N, gram_rows, gram_cols,
+               gram_cols, -1.0, w.data(), w.ld(), g.data(), g.ld(), 1.0,
+               upd2.data(), upd2.ld());
+  });
+
+  const double gram_speedup = t_gram_naive / t_gram_blocked;
+  const double panel_speedup = t_panel_naive / t_panel_blocked;
+  std::printf("\n  gram  %d x %d: naive %.4fs, blocked %.4fs  (%.2fx)\n",
+              gram_rows, gram_cols, t_gram_naive, t_gram_blocked,
+              gram_speedup);
+  std::printf("  panel %d x %d: naive %.4fs, blocked %.4fs  (%.2fx)\n",
+              gram_rows, gram_cols, t_panel_naive, t_panel_blocked,
+              panel_speedup);
+
+  // --- JSON --------------------------------------------------------------
+  std::ofstream out(opts.get("out"));
+  out << "{\n";
+  out << "  \"bench\": \"wallclock\",\n";
+  out << "  \"matrix\": \"" << matrix_name << "\",\n";
+  out << "  \"n\": " << a.n_rows << ",\n";
+  out << "  \"ng\": " << ng << ",\n";
+#ifdef _OPENMP
+  out << "  \"openmp\": true,\n";
+#else
+  out << "  \"openmp\": false,\n";
+#endif
+  out << "  \"nproc\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"smoke\": " << json_bool(smoke) << ",\n";
+  out << "  \"solver_sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    out << "    {\"solver\": \"" << r.solver << "\", \"workers\": "
+        << r.workers << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"sim_seconds\": " << r.sim_seconds << ", \"iterations\": "
+        << r.iterations << ", \"converged\": " << json_bool(r.converged)
+        << ", \"identical_to_serial\": "
+        << json_bool(r.identical_to_serial) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"gram_microbench\": {\n";
+  out << "    \"rows\": " << gram_rows << ", \"cols\": " << gram_cols
+      << ",\n";
+  out << "    \"gram_naive_seconds\": " << t_gram_naive
+      << ", \"gram_blocked_seconds\": " << t_gram_blocked
+      << ", \"gram_speedup\": " << gram_speedup << ",\n";
+  out << "    \"panel_naive_seconds\": " << t_panel_naive
+      << ", \"panel_blocked_seconds\": " << t_panel_blocked
+      << ", \"panel_speedup\": " << panel_speedup << "\n";
+  out << "  }\n";
+  out << "}\n";
+  std::printf("\n  wrote %s\n", opts.get("out").c_str());
+  return 0;
+}

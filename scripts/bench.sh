@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Wall-clock bench runner: builds the default preset and runs the host-engine
+# worker sweep + blocked-BLAS microbench, writing BENCH_wallclock.json at the
+# repo root. Extra arguments pass straight through to the bench binary
+# (e.g. --matrix=cant --scale=1.0 --ng=2); see `wallclock --help`.
+#
+# Note: the worker-sweep speedup needs real cores. On a single-core machine
+# the sweep still runs (and still checks result identity across worker
+# counts) but can show no wall-clock win; "nproc" is recorded in the JSON so
+# readers can tell.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j --target wallclock
+
+./build/bench/wallclock --out BENCH_wallclock.json "$@"
+
+echo
+echo "Wrote $(pwd)/BENCH_wallclock.json"

@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
-# Full local gate: the tier-1 suite under the default preset, then the
-# sanitize-labeled suites rebuilt and rerun under asan-ubsan. Run from
-# anywhere; everything happens relative to the repo root.
+# Full local gate: the tier-1 suite under the default preset, the
+# sanitize-labeled suites rebuilt and rerun under asan-ubsan, and the
+# tsan-labeled suites (the host execution engine's concurrency tests) under
+# thread sanitizer with the worker pool active. Run from anywhere;
+# everything happens relative to the repo root.
+#
+#   --bench-smoke   additionally run the wall-clock bench at tiny sizes and
+#                   fail unless it produces well-formed BENCH_wallclock.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "unknown argument: $arg (known: --bench-smoke)" >&2; exit 2 ;;
+  esac
+done
 
 echo "== default preset: configure + build + full test suite =="
 cmake --preset default
@@ -15,6 +28,35 @@ echo "== asan-ubsan preset: configure + build + sanitize-labeled tests =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j
 ctest --preset asan-ubsan -j
+
+echo
+echo "== tsan preset: configure + build + tsan-labeled tests (2 workers) =="
+cmake --preset tsan
+cmake --build --preset tsan -j
+ctest --preset tsan -j
+
+if [[ "$bench_smoke" == 1 ]]; then
+  echo
+  echo "== bench smoke: tiny wall-clock run must emit well-formed JSON =="
+  out=build/BENCH_wallclock.smoke.json
+  rm -f "$out"
+  ./build/bench/wallclock --smoke --out "$out"
+  [[ -s "$out" ]] || { echo "bench smoke: $out missing or empty" >&2; exit 1; }
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("solver_sweep", "gram_microbench", "nproc"):
+    if key not in doc:
+        sys.exit(f"bench smoke: JSON missing key {key!r}")
+if not doc["solver_sweep"]:
+    sys.exit("bench smoke: empty solver_sweep")
+for row in doc["solver_sweep"]:
+    if not row.get("identical_to_serial"):
+        sys.exit(f"bench smoke: results diverged across workers: {row}")
+print("bench smoke: JSON OK")
+EOF
+fi
 
 echo
 echo "All checks passed."

@@ -1,9 +1,26 @@
 #include "blas/blas3.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
 #include "common/error.hpp"
+
+// Blocking strategy (ISSUE 3 tentpole): the hot GEMM shapes here are tall-
+// skinny — a panel V of m rows by n,k <= s+1 columns, either V^T V (Gram,
+// Trans::T x Trans::N with the long dimension contracted) or V * R (panel
+// update, Trans::N x Trans::N with the long dimension kept). Both are
+// memory-bound, so the win is a single pass over V: block the long
+// dimension so every involved column block stays cache-resident, and
+// register-block the skinny dimension (4 fused terms per pass) to amortize
+// loads of the running sums.
+//
+// Determinism contract: every output element accumulates its inner-
+// dimension terms ONE AT A TIME in the same order as the naive triple
+// loop; between cache blocks the running sum is spilled through memory and
+// picked back up. The operation sequence per element is therefore
+// unchanged, and results are bit-identical to the pre-blocked kernels for
+// any block size or OpenMP thread count.
 
 namespace cagmres::blas {
 
@@ -13,11 +30,16 @@ inline const double* elem(const double* a, int lda, int i, int j) {
   return a + static_cast<std::size_t>(j) * lda + i;
 }
 
+/// Rows of the long dimension per cache block: with n <= 32 skinny columns
+/// the working set is n * 1024 * 8B <= 256 KiB, L2-resident.
+constexpr int kLongBlock = 1024;
+
 }  // namespace
 
 void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
           const double* a, int lda, const double* b, int ldb, double beta,
           double* c, int ldc) {
+#pragma omp parallel for schedule(static) if (static_cast<long long>(m) * n > 1 << 16)
   for (int j = 0; j < n; ++j) {
     double* cj = c + static_cast<std::size_t>(j) * ldc;
     if (beta == 0.0) {
@@ -29,26 +51,73 @@ void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
   if (alpha == 0.0 || k == 0) return;
 
   if (ta == Trans::N && tb == Trans::N) {
-    // C += alpha * A * B, unit-stride over columns of A.
-    for (int j = 0; j < n; ++j) {
-      double* cj = c + static_cast<std::size_t>(j) * ldc;
-      for (int p = 0; p < k; ++p) {
-        const double t = alpha * *elem(b, ldb, p, j);
-        const double* ap = a + static_cast<std::size_t>(p) * lda;
-        for (int i = 0; i < m; ++i) cj[i] += t * ap[i];
+    // C += alpha * A * B — the V * R panel-update shape (m large; n, k
+    // skinny). Row-blocked so an i-block of A (all k columns of it) stays
+    // cache-resident across the n output columns: A streams from DRAM
+    // once instead of n times. Four p terms are fused per pass over the
+    // block, added to the running sum one at a time in p order.
+#pragma omp parallel for schedule(static) if (static_cast<long long>(m) * n * k > 1 << 18)
+    for (int i0 = 0; i0 < m; i0 += kLongBlock) {
+      const int i1 = std::min(m, i0 + kLongBlock);
+      for (int j = 0; j < n; ++j) {
+        double* cj = c + static_cast<std::size_t>(j) * ldc;
+        int p = 0;
+        for (; p + 4 <= k; p += 4) {
+          const double t0 = alpha * *elem(b, ldb, p, j);
+          const double t1 = alpha * *elem(b, ldb, p + 1, j);
+          const double t2 = alpha * *elem(b, ldb, p + 2, j);
+          const double t3 = alpha * *elem(b, ldb, p + 3, j);
+          const double* a0 = a + static_cast<std::size_t>(p) * lda;
+          const double* a1 = a + static_cast<std::size_t>(p + 1) * lda;
+          const double* a2 = a + static_cast<std::size_t>(p + 2) * lda;
+          const double* a3 = a + static_cast<std::size_t>(p + 3) * lda;
+          for (int i = i0; i < i1; ++i) {
+            double x = cj[i];
+            x += t0 * a0[i];
+            x += t1 * a1[i];
+            x += t2 * a2[i];
+            x += t3 * a3[i];
+            cj[i] = x;
+          }
+        }
+        for (; p < k; ++p) {
+          const double t = alpha * *elem(b, ldb, p, j);
+          const double* ap = a + static_cast<std::size_t>(p) * lda;
+          for (int i = i0; i < i1; ++i) cj[i] += t * ap[i];
+        }
       }
     }
   } else if (ta == Trans::T && tb == Trans::N) {
-    // C(i,j) += alpha * dot(A(:,i), B(:,j)).
+    // C(i,j) += alpha * dot(A(:,i), B(:,j)) — the V^T W Gram/projection
+    // shape (k large; m, n skinny). The contracted dimension is blocked so
+    // all m + n column blocks stay cache-resident; the running dot for
+    // each (i,j) is spilled through a small m x n scratch between blocks.
+    std::vector<double> acc(static_cast<std::size_t>(m) * n, 0.0);
+    for (int p0 = 0; p0 < k; p0 += kLongBlock) {
+      const int p1 = std::min(k, p0 + kLongBlock);
+#pragma omp parallel for schedule(static) if (static_cast<long long>(m) * k > 1 << 16)
+      for (int j = 0; j < n; ++j) {
+        const double* bj = b + static_cast<std::size_t>(j) * ldb;
+        double* accj = acc.data() + static_cast<std::size_t>(j) * m;
+        for (int i = 0; i < m; ++i) {
+          const double* ai = a + static_cast<std::size_t>(i) * lda;
+          double s = accj[i];
+          int p = p0;
+          for (; p + 4 <= p1; p += 4) {
+            s += ai[p] * bj[p];
+            s += ai[p + 1] * bj[p + 1];
+            s += ai[p + 2] * bj[p + 2];
+            s += ai[p + 3] * bj[p + 3];
+          }
+          for (; p < p1; ++p) s += ai[p] * bj[p];
+          accj[i] = s;
+        }
+      }
+    }
     for (int j = 0; j < n; ++j) {
       double* cj = c + static_cast<std::size_t>(j) * ldc;
-      const double* bj = b + static_cast<std::size_t>(j) * ldb;
-      for (int i = 0; i < m; ++i) {
-        const double* ai = a + static_cast<std::size_t>(i) * lda;
-        double acc = 0.0;
-        for (int p = 0; p < k; ++p) acc += ai[p] * bj[p];
-        cj[i] += alpha * acc;
-      }
+      const double* accj = acc.data() + static_cast<std::size_t>(j) * m;
+      for (int i = 0; i < m; ++i) cj[i] += alpha * accj[i];
     }
   } else if (ta == Trans::N && tb == Trans::T) {
     for (int j = 0; j < n; ++j) {
@@ -73,17 +142,44 @@ void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
 }
 
 void syrk_tn(int m, int n, const double* a, int lda, double* c, int ldc) {
-  // Columns are independent; each Gram entry is a serial dot product, so
-  // the result does not depend on the thread count.
-#pragma omp parallel for schedule(dynamic) if (static_cast<long long>(m) * n > 1 << 16)
+  // Single cache-blocked pass over the tall panel: a block of kLongBlock
+  // rows of all n columns stays resident while every Gram pair consumes
+  // it, so V streams from DRAM once instead of ~n/2 times. The running sum
+  // for each c(i,j) is spilled through the output between blocks and the
+  // inner loop stays strictly p-ordered (4 terms fused per pass, added one
+  // at a time), so the result is bit-identical to a naive serial dot for
+  // any block size or thread count. Each (i,j) is owned by one thread.
+  const bool big = static_cast<long long>(m) * n > 1 << 16;
   for (int j = 0; j < n; ++j) {
-    const double* aj = a + static_cast<std::size_t>(j) * lda;
     for (int i = 0; i <= j; ++i) {
-      const double* ai = a + static_cast<std::size_t>(i) * lda;
-      double acc = 0.0;
-      for (int p = 0; p < m; ++p) acc += ai[p] * aj[p];
-      c[static_cast<std::size_t>(j) * ldc + i] = acc;
-      c[static_cast<std::size_t>(i) * ldc + j] = acc;
+      c[static_cast<std::size_t>(j) * ldc + i] = 0.0;
+    }
+  }
+  for (int p0 = 0; p0 < m; p0 += kLongBlock) {
+    const int p1 = std::min(m, p0 + kLongBlock);
+#pragma omp parallel for schedule(dynamic) if (big)
+    for (int j = 0; j < n; ++j) {
+      const double* aj = a + static_cast<std::size_t>(j) * lda;
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      for (int i = 0; i <= j; ++i) {
+        const double* ai = a + static_cast<std::size_t>(i) * lda;
+        double s = cj[i];
+        int p = p0;
+        for (; p + 4 <= p1; p += 4) {
+          s += ai[p] * aj[p];
+          s += ai[p + 1] * aj[p + 1];
+          s += ai[p + 2] * aj[p + 2];
+          s += ai[p + 3] * aj[p + 3];
+        }
+        for (; p < p1; ++p) s += ai[p] * aj[p];
+        cj[i] = s;
+      }
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < j; ++i) {
+      c[static_cast<std::size_t>(i) * ldc + j] =
+          c[static_cast<std::size_t>(j) * ldc + i];
     }
   }
 }

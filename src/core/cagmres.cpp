@@ -105,6 +105,9 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   sim::DistMultiVec xwork(rows, 2);
   sim::DistVec b(rows);
   b.assign_from_host(prob->b);
+  // Declared after the distributed buffers: on exceptional unwind the pool
+  // drains before v/xwork/b (and the executors' z buffers) are destroyed.
+  sim::DrainGuard drain_guard(machine);
 
   SolveResult result;
   SolveStats& st = result.stats;
@@ -242,6 +245,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         // survivors, rebuild the distributed state and both MPK plans, and
         // resume from the last checkpoint. Redistribution is charged.
         const double t_reb = machine.clock().elapsed();
+        machine.sync();  // the old v/xwork/executors are replaced below
         repart = repartition_problem(*prob, machine.n_devices());
         prob = &repart;
         rows = prob->rows_per_device();
@@ -393,6 +397,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         // Snapshot of the block (pre-TSQR, post-BOrth) for error
         // instrumentation; untouched simulated clock (measurement only).
         auto snapshot_block = [&]() {
+          machine.sync();  // wall-clock only: host copy of the device panel
           sim::DistMultiVec snap(rows, steps);
           for (int d = 0; d < ng; ++d) {
             for (int i = 0; i < steps; ++i) {
@@ -626,6 +631,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
     st.recovery.time_lost += df.retry_seconds + df.stall_seconds;
   }
 
+  machine.sync();  // final gather reads xwork on the host
   std::vector<double> x_prepared;
   x_prepared.reserve(static_cast<std::size_t>(prob->n()));
   for (int d = 0; d < machine.n_devices(); ++d) {

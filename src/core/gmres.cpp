@@ -64,6 +64,7 @@ void update_solution(sim::Machine& m, sim::DistMultiVec& v, int k,
 
 std::vector<double> checkpoint_x(sim::Machine& m,
                                  const sim::DistMultiVec& xwork) {
+  m.sync();  // wall-clock only: the host reads xwork below
   std::vector<double> x;
   x.reserve(static_cast<std::size_t>(xwork.total_rows()));
   for (int d = 0; d < m.n_devices(); ++d) {
@@ -80,6 +81,7 @@ void restore_x(sim::Machine& m, sim::DistMultiVec& xwork,
                const std::vector<double>& x) {
   CAGMRES_REQUIRE(static_cast<int>(x.size()) == xwork.total_rows(),
                   "checkpoint size mismatch");
+  m.sync();  // wall-clock only: the host writes xwork below
   std::size_t at = 0;
   for (int d = 0; d < m.n_devices(); ++d) {
     const int rows = xwork.local_rows(d);
@@ -233,6 +235,9 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   sim::DistMultiVec xwork(rows, 2);
   sim::DistVec b(rows);
   b.assign_from_host(prob->b);
+  // Declared after the distributed buffers: on exceptional unwind the pool
+  // drains before v/xwork/b (and the executor's z buffers) are destroyed.
+  sim::DrainGuard drain_guard(machine);
 
   SolveResult result;
   SolveStats& st = result.stats;
@@ -289,6 +294,7 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
         // survivors, rebuild the distributed state, and resume from the
         // last checkpoint. All redistribution traffic is charged.
         const double t_reb = machine.clock().elapsed();
+        machine.sync();  // the old v/xwork/executor are replaced below
         repart = repartition_problem(*prob, machine.n_devices());
         prob = &repart;
         rows = prob->rows_per_device();
@@ -409,6 +415,7 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
     st.recovery.time_lost += df.retry_seconds + df.stall_seconds;
   }
 
+  machine.sync();  // final gather reads xwork on the host
   std::vector<double> x_prepared;
   x_prepared.reserve(static_cast<std::size_t>(prob->n()));
   for (int d = 0; d < machine.n_devices(); ++d) {

@@ -29,11 +29,40 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
   sim::DistMultiVec xwork(rows, 2);
   sim::DistVec b(rows);
   b.assign_from_host(problem.b);
+  // Declared after the distributed buffers: on exceptional unwind the pool
+  // drains before v/z/xwork/b are destroyed.
+  sim::DrainGuard drain_guard(machine);
 
   SolveResult result;
   SolveStats& st = result.stats;
   const double t0 = machine.clock().elapsed();
   const sim::PhaseTimers phases0 = machine.phases();
+
+  // --- numerical health monitor (core/health.hpp) ---
+  // The pipelined recurrence is fixed by construction (CGS-style fused
+  // update, no orthogonalizer to swap), so its escalation ladder is empty:
+  // watchdog trips are logged, and a progress-class trip — with nothing
+  // left to try — stops the solve instead of burning the restart budget.
+  // With no monitor armed the solver behaves byte-identically to the
+  // pre-health code.
+  LadderCapabilities caps;  // every rung off
+  SolveHealthMonitor hm(machine, opts.health, caps, t0);
+  const bool health_on = hm.armed();
+  double prev_recurrence = -1.0;  // previous cycle's LS residual estimate
+  bool prev_claimed = false;      // ... and whether it met the tolerance
+  auto respond = [&](HealthEventKind cause, int restart_no) {
+    if (!opts.health.escalate) return;
+    const double value = hm.events().empty() ? 0.0 : hm.events().back().value;
+    hm.escalate(cause, value, restart_no, st.iterations,
+                [](EscalationStep) { return false; });
+    if (cause == HealthEventKind::kStagnation ||
+        cause == HealthEventKind::kDivergence ||
+        cause == HealthEventKind::kFalseConvergence) {
+      CAGMRES_REQUIRE_CODE(
+          false, ErrorCode::kDeadlineExceeded,
+          "escalation ladder exhausted while the solve was not progressing");
+    }
+  };
 
   std::vector<std::vector<double>> partial(
       static_cast<std::size_t>(ng),
@@ -52,9 +81,26 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
       }
     }
     st.residual_history.push_back(res);
-    if (res <= opts.tol * st.initial_residual) {
+    const bool unconverged = res > opts.tol * st.initial_residual;
+    if (health_on) {
+      // False-convergence guard: the explicit residual just computed vs
+      // the previous cycle's recurrence estimate.
+      const HealthEventKind gap_trip = hm.check_residual_gap(
+          res, prev_recurrence, prev_claimed, unconverged, restart,
+          st.iterations);
+      if (gap_trip != HealthEventKind::kNone && unconverged) {
+        respond(gap_trip, restart);
+      }
+    }
+    if (!unconverged) {
       st.converged = true;
       break;
+    }
+    if (health_on) {
+      const HealthEventKind prog_trip =
+          hm.check_progress(res, restart, st.iterations);
+      if (prog_trip != HealthEventKind::kNone) respond(prog_trip, restart);
+      hm.check_budget(st.iterations, restart);
     }
     for (int d = 0; d < ng; ++d) {
       sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
@@ -64,6 +110,7 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
 
     blas::GivensLS ls(mm, res);
     int k = 0;
+    double cycle_ls_res = -1.0;
     for (int j = 0; j < mm; ++j) {
       sim::PhaseScope phase(machine, "orth");
       const int prev = j + 1;  // columns v_0..v_j are orthonormal
@@ -149,6 +196,7 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
       // (5) Least squares bookkeeping (H column = [a; nu]).
       coeff[static_cast<std::size_t>(prev)] = nu;
       const double ls_res = ls.append_column(coeff.data());
+      cycle_ls_res = ls_res;
       k = j + 1;
       st.iterations += 1;
       if (ls_res <= opts.tol * st.initial_residual) break;
@@ -158,9 +206,17 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
     if (k > 0) {
       detail::update_solution(machine, v, k, ls.solve(), xwork);
     }
+    prev_recurrence = k > 0 ? cycle_ls_res : -1.0;
+    prev_claimed =
+        k > 0 && cycle_ls_res >= 0.0 &&
+        cycle_ls_res <= opts.tol * st.initial_residual;
     ++st.restarts;
   }
   st.final_residual = res;
+  st.health_events = hm.take_events();
+  st.recurrence_residual = prev_recurrence;
+  st.residual_gap = hm.residual_gap_last();
+  st.residual_gap_max = hm.residual_gap_max();
 
   st.time_total = machine.clock().elapsed() - t0;
   const sim::PhaseTimers& ph = machine.phases();
@@ -168,6 +224,7 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
   st.time_orth = ph.get("orth") - phases0.get("orth");
   st.time_other = st.time_total - st.time_spmv - st.time_orth;
 
+  machine.sync();  // final gather reads xwork on the host
   std::vector<double> x_prepared;
   x_prepared.reserve(static_cast<std::size_t>(problem.n()));
   for (int d = 0; d < ng; ++d) {

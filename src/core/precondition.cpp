@@ -1,11 +1,14 @@
 #include "core/precondition.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "blas/blas1.hpp"
 #include "blas/blas3.hpp"
 #include "blas/lapack.hpp"
 #include "common/error.hpp"
+#include "core/cagmres.hpp"
+#include "core/gmres.hpp"
 #include "sparse/coo.hpp"
 
 namespace cagmres::core {
@@ -106,6 +109,28 @@ PreconditionStats apply_block_jacobi(Problem& p, int block_size) {
   p.b_norm = blas::nrm2(n, p.b.data());
   stats.nnz_after = p.a.nnz();
   return stats;
+}
+
+PreconditionedResult preconditioned_gmres(sim::Machine& machine,
+                                          const Problem& problem,
+                                          const SolverOptions& opts,
+                                          int block_size) {
+  Problem transformed = problem;
+  PreconditionedResult out;
+  out.precond = apply_block_jacobi(transformed, block_size);
+  out.solve = gmres(machine, transformed, opts);
+  return out;
+}
+
+PreconditionedResult preconditioned_ca_gmres(sim::Machine& machine,
+                                             const Problem& problem,
+                                             const SolverOptions& opts,
+                                             int block_size) {
+  Problem transformed = problem;
+  PreconditionedResult out;
+  out.precond = apply_block_jacobi(transformed, block_size);
+  out.solve = ca_gmres(machine, transformed, opts);
+  return out;
 }
 
 }  // namespace cagmres::core

@@ -29,4 +29,27 @@ struct PreconditionStats {
 /// recovered solution x is unchanged in meaning.
 PreconditionStats apply_block_jacobi(Problem& p, int block_size);
 
+/// Result of a preconditioned solve: the solver outcome on the transformed
+/// system plus the transform's own diagnostics.
+struct PreconditionedResult {
+  SolveResult solve;
+  PreconditionStats precond;
+};
+
+/// Block-Jacobi preconditioned drivers: copy the prepared problem, apply
+/// the transform, and delegate to the standard solver. The numerical
+/// health monitor (core/health.hpp) rides along through `opts.health` —
+/// the delegated driver arms it against the preconditioned residuals, so
+/// watchdogs and the escalation ladder work unchanged; with `opts.health`
+/// defaulted the behaviour is byte-identical to transform-then-solve by
+/// hand.
+PreconditionedResult preconditioned_gmres(sim::Machine& machine,
+                                          const Problem& problem,
+                                          const SolverOptions& opts,
+                                          int block_size);
+PreconditionedResult preconditioned_ca_gmres(sim::Machine& machine,
+                                             const Problem& problem,
+                                             const SolverOptions& opts,
+                                             int block_size);
+
 }  // namespace cagmres::core

@@ -67,7 +67,9 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
     if (next > 0) {
       // Expand the received buffer into z's external slots. Values are read
       // straight from the owners' blocks (all host memory); the transfer
-      // cost was charged above.
+      // cost was charged above. Safe to run inline while the enqueued
+      // dev_copy above fills zd[0, owned): host_wait_all drained the
+      // owners' streams, and this loop writes only zd[owned, owned+next).
       for (int e = 0; e < next; ++e) {
         zd[static_cast<std::size_t>(dp.owned + e)] =
             v.col(dp.ext_owner[static_cast<std::size_t>(e)],
@@ -122,60 +124,69 @@ void MpkExecutor::apply(sim::Machine& m, sim::DistMultiVec& v, int c0,
       }
 
       // Boundary rows this step still has to produce (hop <= s-k prefix).
+      // Charged here, computed on the device's stream: the closure reads
+      // zin (finished earlier on the same in-order stream) and writes zout
+      // positions disjoint from the local-block SpMV ahead of it.
       const int brows =
           dp.boundary_rows_at_step[static_cast<std::size_t>(k) - 1];
       if (brows > 0) {
-        const auto& b = dp.boundary;
-        for (int i = 0; i < brows; ++i) {
-          double acc = 0.0;
-          const auto lo = b.row_ptr[static_cast<std::size_t>(i)];
-          const auto hi = b.row_ptr[static_cast<std::size_t>(i) + 1];
-          for (auto p = lo; p < hi; ++p) {
-            acc += b.vals[static_cast<std::size_t>(p)] *
-                   zin[static_cast<std::size_t>(
-                       b.col_idx[static_cast<std::size_t>(p)])];
-          }
-          zout[static_cast<std::size_t>(
-              dp.boundary_out_pos[static_cast<std::size_t>(i)])] = acc;
-        }
         const double bnnz = static_cast<double>(
-            b.row_ptr[static_cast<std::size_t>(brows)]);
+            dp.boundary.row_ptr[static_cast<std::size_t>(brows)]);
         m.charge_device(d, sim::Kernel::kSpmvCsr, 2.0 * bnnz,
                         bnnz * 20.0 + 12.0 * brows);
-        if (m.consume_kernel_fault(d)) {
+        const bool hit = m.consume_kernel_fault(d);
+        const MpkDevicePlan* dpp = &dp;
+        const double* zi = zin.data();
+        double* zo = zout.data();
+        m.run_on_device(d, [=] {
+          const auto& b = dpp->boundary;
+#pragma omp parallel for schedule(static) if (brows > 1 << 10)
           for (int i = 0; i < brows; ++i) {
-            zout[static_cast<std::size_t>(
-                dp.boundary_out_pos[static_cast<std::size_t>(i)])] =
-                std::numeric_limits<double>::quiet_NaN();
+            double acc = 0.0;
+            const auto lo = b.row_ptr[static_cast<std::size_t>(i)];
+            const auto hi = b.row_ptr[static_cast<std::size_t>(i) + 1];
+            for (auto p = lo; p < hi; ++p) {
+              acc += b.vals[static_cast<std::size_t>(p)] *
+                     zi[b.col_idx[static_cast<std::size_t>(p)]];
+            }
+            zo[dpp->boundary_out_pos[static_cast<std::size_t>(i)]] = acc;
           }
-        }
+          if (hit) {
+            for (int i = 0; i < brows; ++i) {
+              zo[dpp->boundary_out_pos[static_cast<std::size_t>(i)]] =
+                  std::numeric_limits<double>::quiet_NaN();
+            }
+          }
+        });
       }
 
       // Newton shift: zout -= theta * zin on every computed position
       // (owned rows plus the boundary prefix), fused into one AXPY charge.
       if (theta != 0.0 || pair_second) {
-        for (int i = 0; i < dp.owned; ++i) {
-          zout[static_cast<std::size_t>(i)] -=
-              theta * zin[static_cast<std::size_t>(i)];
-          if (pair_second) {
-            zout[static_cast<std::size_t>(i)] +=
-                beta2 * zprev2[static_cast<std::size_t>(i)];
-          }
-        }
-        for (int i = 0; i < brows; ++i) {
-          const int pos = dp.boundary_out_pos[static_cast<std::size_t>(i)];
-          zout[static_cast<std::size_t>(pos)] -=
-              theta * zin[static_cast<std::size_t>(pos)];
-          if (pair_second) {
-            zout[static_cast<std::size_t>(pos)] +=
-                beta2 * zprev2[static_cast<std::size_t>(pos)];
-          }
-        }
         const double rows = static_cast<double>(dp.owned + brows);
         m.charge_device(d, sim::Kernel::kAxpy,
                         (pair_second ? 4.0 : 2.0) * rows,
                         (pair_second ? 4.0 : 3.0) * 8.0 * rows);
-        if (m.consume_kernel_fault(d)) poison(zout.data(), dp.owned);
+        const bool hit = m.consume_kernel_fault(d);
+        const MpkDevicePlan* dpp = &dp;
+        const int owned = dp.owned;
+        const double* zi = zin.data();
+        const double* zp2 = zprev2.data();
+        double* zo = zout.data();
+        m.run_on_device(d, [=] {
+#pragma omp parallel for schedule(static) if (owned > 1 << 13)
+          for (int i = 0; i < owned; ++i) {
+            zo[i] -= theta * zi[i];
+            if (pair_second) zo[i] += beta2 * zp2[i];
+          }
+          for (int i = 0; i < brows; ++i) {
+            const int pos =
+                dpp->boundary_out_pos[static_cast<std::size_t>(i)];
+            zo[pos] -= theta * zi[pos];
+            if (pair_second) zo[pos] += beta2 * zp2[pos];
+          }
+          if (hit) poison(zo, owned);
+        });
       }
 
       // Store the owned part as the next basis column (Fig. 4 last line).

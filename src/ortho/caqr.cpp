@@ -31,6 +31,10 @@ TsqrResult tsqr_caqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1) {
                     "CAQR: device row block shorter than the panel width "
                     "(need n / n_devices >= s+1)");
     blas::DMat block(rows, k);
+    // Wall-clock-only drain: the host copy below reads the panel columns,
+    // which kernels enqueued by the caller (e.g. BOrth's block update) may
+    // still be writing on this device's stream.
+    m.drain_device(d);
     for (int j = 0; j < k; ++j) {
       blas::copy(rows, v.col(d, c0 + j), block.col(j));
     }
@@ -65,6 +69,9 @@ TsqrResult tsqr_caqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1) {
                      local_q[static_cast<std::size_t>(d)].ld(), slice.data(),
                      slice.ld(), v.col(d, c0), v.local(d).ld());
   }
+  // Wall-clock-only barrier: the enqueued dev_gemm_nn closures read the
+  // loop-scoped local_q panels, which die when this function returns.
+  m.sync();
   res.r = std::move(r_final);
   return res;
 }

@@ -1,0 +1,142 @@
+#include "sim/host_pool.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cagmres::sim {
+
+HostPool::HostPool(int n_streams, int n_workers)
+    : in_flight_(static_cast<std::size_t>(n_streams), 0),
+      latched_(static_cast<std::size_t>(n_streams)) {
+  CAGMRES_REQUIRE(n_streams >= 0, "host pool: negative stream count");
+  spawn(n_workers);
+}
+
+HostPool::~HostPool() {
+  drain_all_nothrow();
+  stop_and_join();
+}
+
+void HostPool::spawn(int n_workers) {
+  CAGMRES_REQUIRE(n_workers >= 0, "host pool: negative worker count");
+  queues_.assign(static_cast<std::size_t>(n_workers), {});
+  threads_.reserve(static_cast<std::size_t>(n_workers));
+  for (int w = 0; w < n_workers; ++w) {
+    threads_.emplace_back(
+        [this, w] { worker_main(static_cast<std::size_t>(w)); });
+  }
+}
+
+void HostPool::stop_and_join() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  queues_.clear();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = false;
+  }
+}
+
+void HostPool::resize(int n_workers) {
+  drain_all();
+  if (n_workers == static_cast<int>(threads_.size())) return;
+  stop_and_join();
+  spawn(n_workers);
+}
+
+void HostPool::enqueue(int stream, std::function<void()> fn) {
+  const auto s = static_cast<std::size_t>(stream);
+  CAGMRES_REQUIRE(s < in_flight_.size(), "host pool: bad stream");
+  if (threads_.empty()) {
+    // Serial mode: byte-identical to the pre-engine behaviour, exceptions
+    // propagate straight to the caller.
+    fn();
+    return;
+  }
+  const auto w = s % threads_.size();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queues_[w].push_back(Task{stream, std::move(fn)});
+    ++in_flight_[s];
+    ++total_in_flight_;
+  }
+  cv_work_.notify_all();
+}
+
+void HostPool::worker_main(std::size_t w) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stop_ || !queues_[w].empty(); });
+    if (queues_[w].empty()) return;  // stop_ set and nothing left to run
+    Task task = std::move(queues_[w].front());
+    queues_[w].pop_front();
+    const auto s = static_cast<std::size_t>(task.stream);
+    const bool skip = latched_[s] != nullptr;
+    lk.unlock();
+    std::exception_ptr err;
+    if (!skip) {
+      try {
+        task.fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    lk.lock();
+    if (err && !latched_[s]) latched_[s] = err;
+    --in_flight_[s];
+    if (--total_in_flight_ == 0 || in_flight_[s] == 0) {
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void HostPool::wait_stream_idle(std::unique_lock<std::mutex>& lk, int stream) {
+  const auto s = static_cast<std::size_t>(stream);
+  cv_done_.wait(lk, [&] { return in_flight_[s] == 0; });
+}
+
+void HostPool::wait_all_idle(std::unique_lock<std::mutex>& lk) {
+  cv_done_.wait(lk, [&] { return total_in_flight_ == 0; });
+}
+
+void HostPool::drain(int stream) {
+  if (threads_.empty()) return;
+  const auto s = static_cast<std::size_t>(stream);
+  CAGMRES_REQUIRE(s < in_flight_.size(), "host pool: bad stream");
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    wait_stream_idle(lk, stream);
+    err = std::exchange(latched_[s], nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void HostPool::drain_all() {
+  if (threads_.empty()) return;
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    wait_all_idle(lk);
+    for (auto& e : latched_) {
+      if (e && !err) err = e;
+      e = nullptr;
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void HostPool::drain_all_nothrow() noexcept {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  wait_all_idle(lk);
+  for (auto& e : latched_) e = nullptr;
+}
+
+}  // namespace cagmres::sim

@@ -1,0 +1,87 @@
+// Host-side worker pool that executes the functional bodies of charged
+// device kernels concurrently, one in-order stream per simulated device.
+//
+// The simulated clock is charged on the *calling* host thread at enqueue
+// time, in program order, exactly as before this engine existed; only the
+// numerical work (the closure) is deferred to a worker. Per-device data
+// blocks live in disjoint allocations and every task on one stream runs in
+// FIFO order on a single worker, so results are byte-identical for any
+// worker count — including zero, where enqueue() degenerates to an inline
+// call on the host thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cagmres::sim {
+
+/// Fixed-size worker pool with per-stream FIFO ordering.
+///
+/// Streams are dense ids (one per physical device). A stream is pinned to
+/// worker `stream % n_workers`, which preserves in-order execution within a
+/// stream without any per-task dependency tracking. Exceptions thrown by a
+/// task are latched per stream; later tasks on a broken stream are skipped
+/// (their inputs may be garbage) and the exception rethrows at the next
+/// drain of that stream.
+class HostPool {
+ public:
+  HostPool(int n_streams, int n_workers);
+  ~HostPool();
+
+  HostPool(const HostPool&) = delete;
+  HostPool& operator=(const HostPool&) = delete;
+
+  int n_workers() const { return static_cast<int>(threads_.size()); }
+  int n_streams() const { return static_cast<int>(in_flight_.size()); }
+
+  /// Drains, joins the current workers, and respawns `n_workers` of them
+  /// (0 = run everything inline on the calling thread).
+  void resize(int n_workers);
+
+  /// Appends a task to `stream`. With zero workers the task runs inline and
+  /// any exception propagates directly to the caller.
+  void enqueue(int stream, std::function<void()> fn);
+
+  /// Wall-clock barrier on one stream: returns when every task enqueued to
+  /// it so far has finished. Rethrows (and clears) the stream's latched
+  /// exception, if any.
+  void drain(int stream);
+
+  /// Wall-clock barrier on every stream. Rethrows the latched exception of
+  /// the lowest-numbered broken stream; all latches are cleared either way.
+  void drain_all();
+
+  /// drain_all() that swallows latched exceptions — for unwind paths and
+  /// the destructor, where a second throw would terminate.
+  void drain_all_nothrow() noexcept;
+
+ private:
+  struct Task {
+    int stream;
+    std::function<void()> fn;
+  };
+
+  void worker_main(std::size_t w);
+  void wait_stream_idle(std::unique_lock<std::mutex>& lk, int stream);
+  void wait_all_idle(std::unique_lock<std::mutex>& lk);
+  void stop_and_join();
+  void spawn(int n_workers);
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< workers wait for tasks
+  std::condition_variable cv_done_;  ///< drainers wait for idle
+  std::vector<std::deque<Task>> queues_;          ///< one per worker
+  std::vector<std::int64_t> in_flight_;           ///< one per stream
+  std::vector<std::exception_ptr> latched_;       ///< one per stream
+  std::int64_t total_in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cagmres::sim

@@ -1,11 +1,26 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 #include "common/error.hpp"
 
 namespace cagmres::sim {
+
+namespace {
+
+/// Worker count for new machines: CAGMRES_HOST_WORKERS in the environment,
+/// clamped at the physical device count (extra workers would idle — streams
+/// are pinned worker = stream % n_workers). Unset/0 = serial inline mode.
+int default_host_workers(int n_devices) {
+  const char* s = std::getenv("CAGMRES_HOST_WORKERS");
+  if (s == nullptr || *s == '\0') return 0;
+  const int n = std::atoi(s);
+  return std::clamp(n, 0, n_devices);
+}
+
+}  // namespace
 
 Counters Counters::operator-(const Counters& rhs) const {
   Counters out(static_cast<int>(dev_flops.size()));
@@ -45,7 +60,8 @@ Machine::Machine(int n_devices, PerfModel model)
       clock_(n_devices),
       counters_(n_devices),
       dev_ops_(static_cast<std::size_t>(n_devices), 0),
-      dev_poison_(static_cast<std::size_t>(n_devices), 0) {
+      dev_poison_(static_cast<std::size_t>(n_devices), 0),
+      pool_(n_devices, default_host_workers(n_devices)) {
   dev_map_.resize(static_cast<std::size_t>(n_devices));
   std::iota(dev_map_.begin(), dev_map_.end(), 0);
 }
@@ -56,7 +72,9 @@ Machine::Machine(Topology topology, PerfModel model)
       clock_(topology.n_devices()),
       counters_(topology.n_devices()),
       dev_ops_(static_cast<std::size_t>(topology.n_devices()), 0),
-      dev_poison_(static_cast<std::size_t>(topology.n_devices()), 0) {
+      dev_poison_(static_cast<std::size_t>(topology.n_devices()), 0),
+      pool_(topology.n_devices(),
+            default_host_workers(topology.n_devices())) {
   CAGMRES_REQUIRE(topology.n_nodes >= 1 && topology.gpus_per_node >= 1,
                   "empty topology");
   dev_map_.resize(static_cast<std::size_t>(topology.n_devices()));
@@ -66,6 +84,10 @@ Machine::Machine(Topology topology, PerfModel model)
 void Machine::retire_device(int d) {
   CAGMRES_REQUIRE(0 <= d && d < n_devices(), "retire: bad logical device");
   CAGMRES_REQUIRE(n_devices() > 1, "retire: cannot retire the last device");
+  // Retirement happens inside a solver's fault handler; finish (or discard)
+  // whatever the pool still holds without letting a latched exception
+  // preempt the recovery already in progress.
+  sync_nothrow();
   dev_map_.erase(dev_map_.begin() + d);
 }
 
@@ -75,6 +97,10 @@ std::int64_t Machine::poll_faults_kernel(int logical, int physical) {
   const double now = clock_.device_time(physical);
   if (faults_.poll_device_fail(physical, now, op)) {
     if (tracing_) trace_.record_instant(physical, now, "fault:kill", phase_);
+    // Drain before unwinding: the stack between here and the solver's
+    // fault handler owns buffers that closures still queued on the
+    // surviving devices' streams may reference.
+    sync_nothrow();
     throw Error("simulated device " + std::to_string(physical) + " failed",
                 ErrorCode::kDeviceFault, logical);
   }
@@ -92,6 +118,7 @@ std::int64_t Machine::poll_faults_transfer_pre(int logical, int physical,
   const double now = clock_.device_time(physical);
   if (faults_.poll_device_fail(physical, now, op)) {
     if (tracing_) trace_.record_instant(physical, now, "fault:kill", phase_);
+    sync_nothrow();  // see poll_faults_kernel: drain before unwinding
     throw Error("simulated device " + std::to_string(physical) +
                     " failed (transfer)",
                 ErrorCode::kDeviceFault, logical);
@@ -230,6 +257,7 @@ void Machine::h2d(int d, double bytes) {
 }
 
 void Machine::reset() {
+  sync_nothrow();
   clock_.reset();
   counters_ = Counters(n_physical_devices());
   phases_.clear();

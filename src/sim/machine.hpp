@@ -9,12 +9,14 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "blas/matrix.hpp"
 #include "sim/clock.hpp"
 #include "sim/fault.hpp"
+#include "sim/host_pool.hpp"
 #include "sim/perf_model.hpp"
 #include "sim/phase_timers.hpp"
 #include "sim/trace.hpp"
@@ -129,10 +131,52 @@ class Machine {
   /// Posts an async host-to-device message to device d.
   void h2d(int d, double bytes);
 
-  /// Host blocks until device d (and its copy queue) is done.
-  void host_wait(int d) { mark_phase(); clock_.host_wait(physical_device(d)); }
-  void host_wait_all() { mark_phase(); clock_.host_wait_all(); }
-  void sync_all() { mark_phase(); clock_.sync_all(); }
+  /// Host blocks until device d (and its copy queue) is done. Advances the
+  /// simulated host clock AND drains device d's real work stream, so any
+  /// enqueued kernel bodies have finished before host code reads the data.
+  void host_wait(int d) {
+    drain_device(d);
+    mark_phase();
+    clock_.host_wait(physical_device(d));
+  }
+  void host_wait_all() {
+    sync();
+    mark_phase();
+    clock_.host_wait_all();
+  }
+  void sync_all() {
+    sync();
+    mark_phase();
+    clock_.sync_all();
+  }
+
+  // --- host execution engine ------------------------------------------
+  /// Number of real worker threads backing the simulated devices (0 =
+  /// everything runs inline on the calling thread).
+  int host_workers() const { return pool_.n_workers(); }
+  /// Drains outstanding work and rebuilds the pool with `n` workers.
+  void set_host_workers(int n) { pool_.resize(n); }
+
+  /// Enqueues a functional kernel body on logical device d's in-order
+  /// stream. The simulated clock must already have been charged by the
+  /// caller (on this thread, in program order) — the closure is pure
+  /// computation on device-owned memory.
+  void run_on_device(int d, std::function<void()> fn) {
+    pool_.enqueue(physical_device(d), std::move(fn));
+  }
+
+  /// Wall-clock-only barrier on one device's stream. Does NOT touch the
+  /// simulated clock — use host_wait(d) when the host should also pay for
+  /// the wait in simulated time.
+  void drain_device(int d) { pool_.drain(physical_device(d)); }
+
+  /// Wall-clock-only barrier on every stream (the explicit host sync
+  /// point). Simulated timelines are untouched, so adding sync() calls can
+  /// never change a solver's charged timings.
+  void sync() { pool_.drain_all(); }
+
+  /// sync() for unwind paths: swallows latched worker exceptions.
+  void sync_nothrow() noexcept { pool_.drain_all_nothrow(); }
 
   // --- fault injection and recovery -----------------------------------
   /// The fault scheduler; configure it (events/rates/seed) before solving.
@@ -208,6 +252,22 @@ class Machine {
   bool tracing_ = false;
   std::string phase_ = "other";
   double phase_mark_ = 0.0;
+  HostPool pool_;  ///< last member: destroyed (joined) first
+};
+
+/// RAII barrier for the host pool: drains (nothrow) on scope exit. Solvers
+/// declare one right after the device-lifetime buffers they enqueue work
+/// on, so that on exceptional unwind no worker still references a buffer
+/// that is about to be destroyed.
+class DrainGuard {
+ public:
+  explicit DrainGuard(Machine& m) : m_(m) {}
+  ~DrainGuard() { m_.sync_nothrow(); }
+  DrainGuard(const DrainGuard&) = delete;
+  DrainGuard& operator=(const DrainGuard&) = delete;
+
+ private:
+  Machine& m_;
 };
 
 /// RAII phase label: attributes the enclosed region's elapsed simulated time.

@@ -187,6 +187,68 @@ TEST(Blas3, GemmAlphaBeta) {
   }
 }
 
+TEST(Blas3, GemmTransTransWithAlphaBeta) {
+  const int m = 11, n = 6, k = 8;
+  Rng rng(55);
+  DMat a = random_matrix(k, m, rng);  // op(A) = A^T is m x k
+  DMat b = random_matrix(n, k, rng);  // op(B) = B^T is k x n
+  DMat c = random_matrix(m, n, rng);
+  DMat c0 = c;
+  gemm(Trans::T, Trans::T, m, n, k, 1.5, a.data(), a.ld(), b.data(), b.ld(),
+       -0.5, c.data(), c.ld());
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += a(p, i) * b(j, p);
+      EXPECT_NEAR(c(i, j), 1.5 * acc - 0.5 * c0(i, j), 1e-12)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+// The cache-blocked tall-skinny paths (N,N panel update, T,N Gram product,
+// syrk) kick in past the 1024-row long-dimension block; check them against
+// the reference triple loop on shapes that straddle the block boundary and
+// the OpenMP-enable thresholds.
+TEST(Blas3, BlockedTallSkinnyPathsMatchReference) {
+  const int m = 3000, k = 7;  // crosses kLongBlock twice, m*k > 1<<14
+  Rng rng(56);
+  DMat v = random_matrix(m, k, rng);
+  DMat w = random_matrix(m, k, rng);
+
+  // Gram product V^T W (T,N path).
+  DMat g(k, k), g_ref(k, k);
+  gemm(Trans::T, Trans::N, k, k, m, 1.0, v.data(), v.ld(), w.data(), w.ld(),
+       0.0, g.data(), g.ld());
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < k; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p < m; ++p) acc += v(p, i) * w(p, j);
+      g_ref(i, j) = acc;
+    }
+  }
+  EXPECT_LT(frob_diff(g, g_ref), 1e-9 * std::sqrt(static_cast<double>(m)));
+
+  // Panel update V <- V - W G (N,N path, the BOrth projection shape).
+  DMat upd = v;
+  gemm(Trans::N, Trans::N, m, k, k, -1.0, w.data(), w.ld(), g.data(), g.ld(),
+       1.0, upd.data(), upd.ld());
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += w(i, p) * g(p, j);
+      EXPECT_NEAR(upd(i, j), v(i, j) - acc, 1e-9);
+    }
+  }
+
+  // syrk against the blocked T,N gemm on the same panel.
+  DMat s(k, k), s_ref(k, k);
+  syrk_tn(m, k, v.data(), v.ld(), s.data(), s.ld());
+  gemm(Trans::T, Trans::N, k, k, m, 1.0, v.data(), v.ld(), v.data(), v.ld(),
+       0.0, s_ref.data(), s_ref.ld());
+  EXPECT_LT(frob_diff(s, s_ref), 1e-9 * std::sqrt(static_cast<double>(m)));
+}
+
 TEST(Blas3, SyrkMatchesGemm) {
   const int m = 50, n = 6;
   Rng rng(7);

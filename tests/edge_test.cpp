@@ -107,7 +107,9 @@ TEST(SparseEdge, EmptyRowsSurvivePipeline) {
   sim::Machine m(2);
   sim::DistMultiVec v(plan.rows_per_device(), 3);
   v.col(0, 0)[0] = 1.0;
-  mpk::MpkExecutor(plan).apply(m, v, 0, 2);
+  mpk::MpkExecutor exec(plan);
+  exec.apply(m, v, 0, 2);
+  m.sync();  // the host reads the basis columns below
   EXPECT_DOUBLE_EQ(v.col(0, 2)[0], a.at(0, 0) * a.at(0, 0) +
                                        a.at(0, 2) * a.at(2, 0));
 }
@@ -216,6 +218,7 @@ TEST(OrthoEdge, SingleColumnTsqrIsJustNormalization) {
       }
     }
     const ortho::TsqrResult res = ortho::tsqr(m, method, v, 0, 1);
+    m.sync();  // the host reads the normalized column below
     EXPECT_NEAR(res.r(0, 0), std::sqrt(nrm_sq), 1e-10 * std::sqrt(nrm_sq))
         << ortho::to_string(method);
     double after = 0.0;

@@ -19,6 +19,7 @@
 #include "core/gmres.hpp"
 #include "core/health.hpp"
 #include "core/solver_common.hpp"
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "sparse/generators.hpp"
 
@@ -665,6 +666,73 @@ TEST(Ladder, ShrinkSWorksWithoutAdaptiveSAndNewtonShiftsStayConsistent) {
     for (int sz : res.stats.block_sizes) smallest = std::min(smallest, sz);
     EXPECT_LT(smallest, opts.s);
   }
+}
+
+TEST(Ladder, CursorSurvivesCheckpointRollback) {
+  // A device kill mid-solve makes the solver repartition, restore the
+  // checkpointed x, and replay the restart — and the replayed cycle trips
+  // the condition monitor all over again. The EscalationPolicy cursor must
+  // NOT rewind with the rollback: rungs already consumed stay consumed, so
+  // the ladder keeps making forward progress instead of re-trying
+  // force-reorth after every fault.
+  const TestSystem s = make_hard_system(3, /*grid=*/40);
+
+  core::SolverOptions opts;
+  opts.m = 45;
+  opts.s = 15;
+  opts.tol = 1e-6;
+  opts.max_restarts = 8;
+  opts.basis = core::Basis::kMonomial;
+  opts.reorthogonalize = false;
+  opts.reorth_on_breakdown = false;
+  opts.adaptive_s = false;
+  opts.health.monitor_condition = true;
+  opts.health.monitor_residual_gap = true;
+  opts.health.monitor_stagnation = true;
+
+  Machine machine(3);
+  sim::parse_fault_spec("kill:d1@op=400", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, opts);
+
+  // The fault actually fired and forced a rollback...
+  EXPECT_EQ(machine.n_devices(), 2);
+  EXPECT_EQ(res.stats.recovery.device_failures, 1);
+  EXPECT_GE(res.stats.recovery.rollbacks, 1);
+  // ...and the ladder still acted (the same trips as the fault-free run).
+  EXPECT_GT(res.stats.ladder_steps, 0);
+
+  // Pin the cursor semantics: single-shot rungs fire at most once across
+  // the whole solve (rollback included), and the action sequence never
+  // steps back down the ladder.
+  auto rung_index = [](EscalationStep a) {
+    switch (a) {
+      case EscalationStep::kForceReorth: return 0;
+      case EscalationStep::kShrinkS: return 1;
+      case EscalationStep::kRebuildShifts: return 2;
+      case EscalationStep::kSwitchTsqr: return 3;
+      case EscalationStep::kSwitchOrth: return 4;
+      case EscalationStep::kFallbackGmres: return 5;
+      case EscalationStep::kNone: return 6;
+    }
+    return 6;
+  };
+  int n_force_reorth = 0, n_shrink = 0, n_rebuild = 0, n_fallback = 0;
+  int last_rung = -1;
+  for (const auto& e : res.stats.health_events) {
+    if (e.kind != HealthEventKind::kEscalation) continue;
+    n_force_reorth += e.action == EscalationStep::kForceReorth;
+    n_shrink += e.action == EscalationStep::kShrinkS;
+    n_rebuild += e.action == EscalationStep::kRebuildShifts;
+    n_fallback += e.action == EscalationStep::kFallbackGmres;
+    EXPECT_GE(rung_index(e.action), last_rung)
+        << "ladder stepped backwards after the rollback: "
+        << core::to_string(e.action);
+    last_rung = rung_index(e.action);
+  }
+  EXPECT_LE(n_force_reorth, 1);
+  EXPECT_LE(n_shrink, 1);
+  EXPECT_LE(n_rebuild, 1);
+  EXPECT_LE(n_fallback, 1);
 }
 
 }  // namespace

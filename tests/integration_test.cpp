@@ -100,6 +100,7 @@ TEST(Pipeline, HessenbergIdentityHoldsAgainstExplicitSpmv) {
     }
     done += s;
   }
+  machine.sync();  // the host gathers the basis columns below
   const blas::DMat h = core::hessenberg_blocked(r_total, starts, col_shifts);
 
   // Verify A q_j == sum_i H(i,j) q_i for every column.
@@ -141,6 +142,7 @@ TEST(Pipeline, MpkThenTsqrSpansTheKrylovSpace) {
   const std::vector<double> x0 = gather_col(v, 0);
   exec.apply(machine, v, 0, s);
   ortho::tsqr(machine, ortho::Method::kCaqr, v, 0, s + 1);
+  machine.sync();  // the host reads the panel below
 
   // Explicit power A^s x0.
   std::vector<double> p = x0, tmp(static_cast<std::size_t>(n));
@@ -232,8 +234,13 @@ TEST(Equivalence, EllAndCsrDevicePathsAgree) {
     for (int i = 0; i < v1.local_rows(d); ++i) v1.col(d, 0)[i] = rng.normal();
   }
   DistMultiVec v2 = v1;
-  mpk::MpkExecutor(plan_ell).apply(m1, v1, 0, 3);
-  mpk::MpkExecutor(plan_csr).apply(m2, v2, 0, 3);
+  // Named executors: their z scratch buffers must outlive the enqueued
+  // kernels (a temporary would be destroyed before the streams drain).
+  mpk::MpkExecutor exec_ell(plan_ell), exec_csr(plan_csr);
+  exec_ell.apply(m1, v1, 0, 3);
+  exec_csr.apply(m2, v2, 0, 3);
+  m1.sync();  // the host compares the two bases below
+  m2.sync();
   for (int d = 0; d < 2; ++d) {
     for (int k = 1; k <= 3; ++k) {
       for (int i = 0; i < v1.local_rows(d); ++i) {

@@ -174,6 +174,7 @@ TEST_P(MpkExecTest, MonomialPowersMatchRepeatedSpmv) {
     }
   }
   exec.apply(m, v, 0, s);
+  m.sync();  // the host reads the basis columns below
 
   // Reference: k plain SpMVs on the host.
   std::vector<double> ref = x0, tmp(static_cast<std::size_t>(n));
@@ -230,6 +231,7 @@ TEST(MpkExec, NewtonRealShiftsMatchExplicitRecursion) {
     offv += static_cast<std::size_t>(v.local_rows(d));
   }
   exec.apply(m, v, 0, s, {re, im});
+  m.sync();  // the host reads the basis columns below
 
   std::vector<double> cur = x, tmp(static_cast<std::size_t>(n));
   for (int k = 0; k < s; ++k) {
@@ -268,6 +270,7 @@ TEST(MpkExec, ComplexPairMatchesExplicitRealArithmetic) {
     offv += static_cast<std::size_t>(v.local_rows(d));
   }
   exec.apply(m, v, 0, s, {re, im});
+  m.sync();  // the host reads the basis columns below
 
   // Reference recursion: v1 = (A-0.5)v0; v2 = (A-1)v1; v3 = (A-1)v2 +
   // 0.64*v1; v4 = (A+0.2)v3.
@@ -330,6 +333,7 @@ TEST(MpkExec, DistributedSpmvMatchesHost) {
     offv += static_cast<std::size_t>(v.local_rows(d));
   }
   exec.spmv(m, v, 0, 1);
+  m.sync();  // the host reads the product column below
   sparse::spmv(a, x.data(), y.data());
   offv = 0;
   for (int d = 0; d < ng; ++d) {

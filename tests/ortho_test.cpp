@@ -70,6 +70,7 @@ TEST_P(TsqrParamTest, FactorizesRandomPanel) {
   DistMultiVec v0 = v;
 
   const TsqrResult res = tsqr(m, method, v, 0, k);
+  m.sync();  // the host reads the factored panel below
   EXPECT_FALSE(res.breakdown);
   const OrthoErrors e = measure_errors(v, v0, 0, k, res.r);
   EXPECT_LT(e.orthogonality, 1e-10) << to_string(method);
@@ -94,6 +95,7 @@ TEST_P(TsqrParamTest, SubrangeLeavesOtherColumnsUntouched) {
   DistMultiVec v0 = v;
 
   tsqr(m, method, v, 3, 8);
+  m.sync();  // the host reads the panel below
   for (int d = 0; d < ng; ++d) {
     for (const int j : {0, 1, 2, 8}) {
       for (int i = 0; i < v.local_rows(d); ++i) {
@@ -128,6 +130,7 @@ TEST(TsqrCommunication, MessageCountsMatchFig10) {
       DistMultiVec v(split_rows(n, ng), k);
       fill_random(v, rng);
       tsqr(m, method, v, 0, k);
+      m.sync();  // v dies at scope end; kernels may still reference it
       return m.counters().total_msgs() / ng;
     };
     EXPECT_EQ(count(Method::kMgs), (k) * (k + 1));      // (s+1)(s+2)
@@ -154,6 +157,7 @@ TEST(TsqrStability, OrthogonalityDegradesInTheFig10Order) {
     DistMultiVec work = v;
     Machine mm(2);
     tsqr(mm, method, work, 0, k);
+    mm.sync();  // the host reads the panel below
     return orthogonality_error(work, 0, k);
   };
   const double e_caqr = ortho_err(Method::kCaqr);
@@ -175,6 +179,7 @@ TEST(CholQr, BreakdownOnRankDeficientPanelIsReported) {
 
   TsqrOptions opts;
   const TsqrResult res = tsqr(m, Method::kCholQr, v, 0, k, opts);
+  m.sync();  // v dies before m at scope end
   EXPECT_TRUE(res.breakdown);  // shifted retry succeeded but flagged
 
   // With the fallback disabled it must throw instead.
@@ -194,6 +199,7 @@ TEST(Svqr, HandlesRankDeficientPanelWithoutBreakdown) {
   for (int d = 0; d < 2; ++d) blas::copy(v.local_rows(d), v.col(d, 0), v.col(d, 2));
 
   const TsqrResult res = tsqr(m, Method::kSvqr, v, 0, k);
+  m.sync();  // the host reads the panel below
   EXPECT_FALSE(res.breakdown);
   // Q spans the panel; R reproduces V on the numerical rank.
   DistMultiVec v0 = v;  // cannot compare factorization on singular input
@@ -215,12 +221,14 @@ TEST(Svqr, DiagonalScalingToggleStillFactors) {
   TsqrOptions opts;
   opts.svqr_scale_diagonal = false;
   const TsqrResult r1 = tsqr(m, Method::kSvqr, v, 0, k, opts);
+  m.sync();  // the host reads the panel below
   const OrthoErrors e1 = measure_errors(v, v0, 0, k, r1.r);
   EXPECT_LT(e1.orthogonality, 1e-9);
 
   DistMultiVec w = v0;
   opts.svqr_scale_diagonal = true;
   const TsqrResult r2 = tsqr(m, Method::kSvqr, w, 0, k, opts);
+  m.sync();  // the host reads the panel below
   const OrthoErrors e2 = measure_errors(w, v0, 0, k, r2.r);
   EXPECT_LT(e2.orthogonality, 1e-9);
   // The paper's observation: scaling does not hurt, usually helps the
@@ -239,6 +247,7 @@ TEST(Borth, CgsProjectsBlockAgainstPreviousBasis) {
   DistMultiVec before = v;
 
   const blas::DMat c = borth(m, BorthMethod::kCgs, v, prev, prev + blk);
+  m.sync();  // the host reads the projected block below
   EXPECT_EQ(c.rows(), prev);
   EXPECT_EQ(c.cols(), blk);
   // The block is now orthogonal to the previous basis.
@@ -274,6 +283,8 @@ TEST(Borth, MgsMatchesCgsNumerically) {
 
   const blas::DMat c1 = borth(m1, BorthMethod::kCgs, v_cgs, prev, prev + blk);
   const blas::DMat c2 = borth(m2, BorthMethod::kMgs, v_mgs, prev, prev + blk);
+  m1.sync();  // the host compares the updated blocks below
+  m2.sync();
   for (int j = 0; j < blk; ++j) {
     for (int l = 0; l < prev; ++l) EXPECT_NEAR(c1(l, j), c2(l, j), 1e-9);
     for (int d = 0; d < 2; ++d) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "blas/blas1.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/gmres.hpp"
 #include "core/pipelined.hpp"
@@ -109,6 +110,85 @@ TEST(Pipelined, HonestNonConvergenceUnderCap) {
   const SolveResult res = pipelined_gmres(machine, p, opts);
   EXPECT_FALSE(res.stats.converged);
   EXPECT_EQ(res.stats.restarts, 2);
+}
+
+// A cyclic shift: the GMRES residual stays exactly 1 for n iterations, so
+// a restarted solve stagnates forever — the watchdog's canonical prey.
+Problem make_stagnating_problem(int n, int ng) {
+  sparse::CsrMatrix a;
+  a.n_rows = n;
+  a.n_cols = n;
+  a.row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    a.col_idx.push_back((i + n - 1) % n);
+    a.vals.push_back(1.0);
+    a.row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(a.col_idx.size());
+  }
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  b[0] = 1.0;
+  return make_problem(a, b, ng, graph::Ordering::kNatural, false, 1);
+}
+
+TEST(PipelinedHealth, StagnationWatchdogStopsAHopelessSolve) {
+  const Problem p = make_stagnating_problem(64, 2);
+  SolverOptions opts;
+  opts.m = 20;
+  opts.tol = 1e-6;
+  opts.max_restarts = 200;
+  opts.health.monitor_stagnation = true;
+  opts.health.stagnation_window = 2;
+  sim::Machine machine(2);
+  ErrorCode code = ErrorCode::kBadInput;
+  try {
+    pipelined_gmres(machine, p, opts);
+    FAIL() << "stagnating solve ran to the restart cap";
+  } catch (const Error& e) {
+    code = e.code();
+  }
+  // The pipelined recurrence has an empty ladder: a stagnation trip with
+  // nothing left to try stops the solve instead of burning 200 restarts.
+  EXPECT_EQ(code, ErrorCode::kDeadlineExceeded);
+}
+
+TEST(PipelinedHealth, ReportOnlyModeObservesWithoutChangingTheSolve) {
+  const sparse::CsrMatrix a = sparse::make_laplace2d(18, 16, 0.2, 0.3);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const Problem p = make_problem(a, b, 2, graph::Ordering::kNatural, false, 1);
+  SolverOptions opts;
+  opts.m = 25;
+  opts.tol = 1e-8;
+
+  sim::Machine m_plain(2);
+  const SolveResult plain = pipelined_gmres(m_plain, p, opts);
+
+  opts.health.monitor_stagnation = true;
+  opts.health.monitor_residual_gap = true;
+  opts.health.escalate = false;  // log, never act
+  sim::Machine m_watched(2);
+  const SolveResult watched = pipelined_gmres(m_watched, p, opts);
+
+  // The watchdogs read host-side state only: results and simulated times
+  // are byte-identical to the unmonitored solve.
+  EXPECT_EQ(plain.x, watched.x);
+  EXPECT_EQ(plain.stats.time_total, watched.stats.time_total);
+  EXPECT_EQ(plain.stats.residual_history, watched.stats.residual_history);
+  EXPECT_EQ(m_plain.clock().elapsed(), m_watched.clock().elapsed());
+  // ...and monitor 2 actually measured the recurrence/true gap.
+  EXPECT_GT(watched.stats.residual_gap, 0.0);
+}
+
+TEST(PipelinedHealth, IterationBudgetIsEnforced) {
+  const sparse::CsrMatrix a = sparse::make_laplace2d(20, 20, 0.0, 0.01);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const Problem p = make_problem(a, b, 1, graph::Ordering::kNatural, false, 1);
+  SolverOptions opts;
+  opts.m = 10;
+  opts.tol = 1e-12;
+  opts.max_restarts = 100;
+  opts.health.max_iterations = 15;
+  sim::Machine machine(1);
+  EXPECT_THROW(pipelined_gmres(machine, p, opts), Error);
 }
 
 }  // namespace

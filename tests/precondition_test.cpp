@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "blas/blas1.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/cagmres.hpp"
 #include "core/gmres.hpp"
@@ -135,6 +136,82 @@ TEST(BlockJacobi, SingularBlockFallsBackToIdentity) {
   // ...while the singular block kept its original rows and rhs.
   EXPECT_DOUBLE_EQ(p.b[2], 3.0);
   EXPECT_DOUBLE_EQ(p.b[3], 4.0);
+}
+
+TEST(Preconditioned, DriversMatchManualTransformThenSolve) {
+  const sparse::CsrMatrix a = sparse::make_laplace2d(16, 14, 0.2, 0.1);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const Problem p = make_problem(a, b, 2, graph::Ordering::kNatural, false, 1);
+  SolverOptions opts;
+  opts.m = 20;
+  opts.s = 5;
+  opts.tol = 1e-7;
+
+  // GMRES: wrapper vs transform-then-solve by hand — byte-identical.
+  Problem manual = p;
+  const PreconditionStats manual_st = apply_block_jacobi(manual, 6);
+  sim::Machine m1(2);
+  const SolveResult by_hand = gmres(m1, manual, opts);
+  sim::Machine m2(2);
+  const PreconditionedResult wrapped = preconditioned_gmres(m2, p, opts, 6);
+  EXPECT_EQ(wrapped.precond.blocks, manual_st.blocks);
+  EXPECT_EQ(wrapped.precond.nnz_after, manual_st.nnz_after);
+  EXPECT_EQ(wrapped.solve.x, by_hand.x);
+  EXPECT_EQ(wrapped.solve.stats.iterations, by_hand.stats.iterations);
+  EXPECT_EQ(wrapped.solve.stats.time_total, by_hand.stats.time_total);
+
+  // CA-GMRES: same contract, and a real solution of the original system.
+  sim::Machine m3(2);
+  const PreconditionedResult ca = preconditioned_ca_gmres(m3, p, opts, 6);
+  ASSERT_TRUE(ca.solve.stats.converged);
+  const double rel =
+      true_residual(a, b, ca.solve.x) / blas::nrm2(a.n_rows, b.data());
+  EXPECT_LT(rel, 1e-5);
+}
+
+TEST(Preconditioned, DriverLeavesCallerProblemUntouched) {
+  const sparse::CsrMatrix a = sparse::make_laplace2d(10, 10, 0.1, 0.3);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const Problem p = make_problem(a, b, 1, graph::Ordering::kNatural, false, 1);
+  const std::vector<double> vals_before = p.a.vals;
+  sim::Machine m(1);
+  SolverOptions opts;
+  opts.m = 15;
+  opts.tol = 1e-8;
+  preconditioned_gmres(m, p, opts, 5);
+  EXPECT_EQ(p.a.vals, vals_before);
+  EXPECT_EQ(p.b, b);
+}
+
+TEST(Preconditioned, HealthMonitorRidesThroughTheWrapper) {
+  const sparse::CsrMatrix a = sparse::make_laplace2d(20, 20, 0.0, 0.005);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const Problem p = make_problem(a, b, 2, graph::Ordering::kNatural, false, 1);
+  SolverOptions opts;
+  opts.m = 20;
+  opts.s = 5;
+  opts.tol = 1e-12;
+  opts.max_restarts = 200;
+
+  // An iteration budget armed through opts.health must fire inside the
+  // delegated solver, for both wrapped drivers.
+  opts.health.max_iterations = 10;
+  sim::Machine mg(2);
+  EXPECT_THROW(preconditioned_gmres(mg, p, opts, 8), Error);
+  sim::Machine mc(2);
+  EXPECT_THROW(preconditioned_ca_gmres(mc, p, opts, 8), Error);
+
+  // Report-only stagnation monitoring surfaces events in the returned
+  // stats without changing the outcome.
+  opts.health = HealthOptions{};
+  opts.health.monitor_stagnation = true;
+  opts.health.stagnation_window = 2;
+  opts.health.stagnation_reduction = 1.0;
+  opts.health.escalate = false;
+  opts.tol = 1e-6;
+  sim::Machine m(2);
+  const PreconditionedResult res = preconditioned_ca_gmres(m, p, opts, 8);
+  EXPECT_TRUE(res.solve.stats.converged);
 }
 
 }  // namespace

@@ -113,6 +113,7 @@ TEST_P(OrthoBoundSweep, ErrorWithinModelBound) {
 
   sim::Machine machine(ng);
   ortho::tsqr(machine, prm.method, v, 0, k);
+  machine.sync();  // the host reads the panel below
   const double err = ortho::orthogonality_error(v, 0, k);
   const double eps = 2.2e-16;
   double bound = 0.0;
@@ -207,6 +208,7 @@ TEST_P(MpkSweep, MatchesRepeatedSpmvAndMessageModel) {
     off += static_cast<std::size_t>(v.local_rows(d));
   }
   exec.apply(machine, v, 0, prm.s);
+  machine.sync();  // the host reads the basis columns below
 
   // Numerics: equality with repeated host SpMV.
   std::vector<double> ref = x, tmp(static_cast<std::size_t>(a.n_rows));

@@ -1,14 +1,23 @@
 // Unit tests for the simulated multi-GPU runtime: clock semantics, the
 // performance model, counters, phase attribution, and the charged kernels.
 #include <cmath>
+#include <cstddef>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "blas/blas1.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/cagmres.hpp"
+#include "core/pipelined.hpp"
+#include "core/solver_common.hpp"
+#include "graph/partition.hpp"
 #include "sim/clock.hpp"
 #include "sim/device_blas.hpp"
+#include "sim/host_pool.hpp"
 #include "sim/machine.hpp"
 #include "sim/perf_model.hpp"
 #include "sparse/generators.hpp"
@@ -177,6 +186,7 @@ TEST(DeviceBlas, NumericsMatchHostBlas) {
   const double d = dev_dot(m, 0, n, x.data(), y.data());
   EXPECT_NEAR(d, blas::dot(n, x.data(), y.data()), 1e-12);
   dev_axpy(m, 0, n, 0.5, x.data(), y.data());
+  m.sync();  // the host reads y below
   blas::axpy(n, 0.5, x.data(), y2.data());
   for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)]);
   EXPECT_EQ(m.counters().dev_kernels[0], 2);
@@ -188,11 +198,13 @@ TEST(DeviceBlas, PackUnpackGatherScatter) {
   std::vector<int> idx = {4, 0, 2};
   std::vector<double> out(3);
   dev_pack(m, 0, idx, x.data(), out.data());
+  m.sync();  // the host reads out below
   EXPECT_DOUBLE_EQ(out[0], 50);
   EXPECT_DOUBLE_EQ(out[1], 10);
   EXPECT_DOUBLE_EQ(out[2], 30);
   std::vector<double> in = {-1, -2, -3};
   dev_unpack(m, 0, idx, in.data(), x.data());
+  m.sync();  // the host reads x below
   EXPECT_DOUBLE_EQ(x[4], -1);
   EXPECT_DOUBLE_EQ(x[0], -2);
   EXPECT_DOUBLE_EQ(x[2], -3);
@@ -206,6 +218,7 @@ TEST(DeviceBlas, SpmvEllChargesAndComputes) {
   const int n = a.n_rows;
   std::vector<double> x(static_cast<std::size_t>(n), 1.0), y1(static_cast<std::size_t>(n)), y2(static_cast<std::size_t>(n));
   dev_spmv_ell(m, 0, e, x.data(), y1.data());
+  m.sync();  // the host reads y1 below
   sparse::spmv(a, x.data(), y2.data());
   for (int i = 0; i < n; ++i) EXPECT_NEAR(y1[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)], 1e-13);
   EXPECT_GT(m.clock().device_time(0), 0.0);
@@ -345,6 +358,129 @@ TEST(DeviceBlas, ReductionPatternTiming) {
   const double xfer = pm.transfer_seconds(8.0);
   // Concurrent devices: one kernel + one transfer, NOT three of each.
   EXPECT_NEAR(t, kernel + xfer, 1e-9);
+}
+
+// --- host execution engine (DESIGN.md §9) -----------------------------
+
+TEST(HostPool, SerialModeRunsInline) {
+  HostPool pool(3, 0);
+  EXPECT_EQ(pool.n_workers(), 0);
+  int ran = 0;
+  pool.enqueue(1, [&] { ++ran; });
+  EXPECT_EQ(ran, 1);  // executed on the calling thread, immediately
+  pool.drain_all();
+}
+
+TEST(HostPool, StreamsAreFifoAndDrainWaits) {
+  HostPool pool(2, 2);
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 64; ++i) {
+    pool.enqueue(0, [&, i] {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(i);
+    });
+  }
+  pool.drain(0);
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(HostPool, ExceptionsLatchPerStreamAndRethrowAtDrain) {
+  HostPool pool(2, 1);
+  pool.enqueue(0, [] { throw Error("boom"); });
+  pool.enqueue(0, [] { ADD_FAILURE() << "ran after a latched exception"; });
+  pool.enqueue(1, [] {});  // the other stream is unaffected
+  EXPECT_THROW(pool.drain(0), Error);
+  pool.drain(1);
+  pool.drain(0);  // latched error was consumed by the first drain
+}
+
+TEST(HostPool, ResizeDrainsThenChangesWorkerCount) {
+  HostPool pool(2, 1);
+  int ran = 0;
+  std::mutex mu;
+  for (int i = 0; i < 16; ++i) {
+    pool.enqueue(i % 2, [&] {
+      std::lock_guard<std::mutex> lk(mu);
+      ++ran;
+    });
+  }
+  pool.resize(2);
+  EXPECT_EQ(ran, 16);
+  EXPECT_EQ(pool.n_workers(), 2);
+  pool.resize(0);
+  pool.enqueue(0, [&] { ++ran; });
+  EXPECT_EQ(ran, 17);  // back to inline serial mode
+}
+
+TEST(Machine, HostWorkerCountComesFromEnvOrApi) {
+  Machine m(3);
+  m.set_host_workers(2);
+  EXPECT_EQ(m.host_workers(), 2);
+  m.set_host_workers(0);
+  EXPECT_EQ(m.host_workers(), 0);
+}
+
+/// The engine's core guarantee (ISSUE 3): identical RESULTS and identical
+/// SIMULATED TIMES for any worker count, because charging happens on the
+/// calling thread in program order and only pure numeric closures move to
+/// the pool. Exact ==, modeled on the ZeroFault byte-identity tests.
+TEST(Machine, SolveIsByteIdenticalForAnyWorkerCount) {
+  const auto a = sparse::make_laplace2d(24, 24, 0.1, 0.02);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const int ng = 3;
+  const core::Problem p =
+      core::make_problem(a, b, ng, graph::Ordering::kNatural, true, 1);
+  core::SolverOptions opts;
+  opts.m = 30;
+  opts.s = 6;
+  opts.tol = 1e-6;
+  opts.max_restarts = 400;
+
+  std::vector<core::SolveResult> results;
+  std::vector<double> elapsed;
+  for (const int workers : {0, 1, 2, ng}) {
+    Machine m(ng);
+    m.set_host_workers(workers);
+    results.push_back(core::ca_gmres(m, p, opts));
+    elapsed.push_back(m.clock().elapsed());
+  }
+  const core::SolveStats& ref = results[0].stats;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const core::SolveStats& st = results[i].stats;
+    EXPECT_EQ(ref.time_total, st.time_total) << "workers case " << i;
+    EXPECT_EQ(ref.iterations, st.iterations);
+    EXPECT_EQ(ref.restarts, st.restarts);
+    EXPECT_EQ(ref.residual_history, st.residual_history);
+    EXPECT_EQ(results[0].x, results[i].x);
+    EXPECT_EQ(elapsed[0], elapsed[i]);
+  }
+}
+
+TEST(Machine, PipelinedSolveIsByteIdenticalForAnyWorkerCount) {
+  const auto a = sparse::make_laplace2d(20, 18, 0.25, 0.3);
+  std::vector<double> b(static_cast<std::size_t>(a.n_rows));
+  Rng rng(21);
+  for (auto& e : b) e = rng.normal();
+  const core::Problem p =
+      core::make_problem(a, b, 2, graph::Ordering::kNatural, false, 1);
+  core::SolverOptions opts;
+  opts.m = 25;
+  opts.tol = 1e-8;
+
+  std::vector<core::SolveResult> results;
+  for (const int workers : {0, 1, 2}) {
+    Machine m(2);
+    m.set_host_workers(workers);
+    results.push_back(core::pipelined_gmres(m, p, opts));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].stats.time_total, results[i].stats.time_total);
+    EXPECT_EQ(results[0].stats.residual_history,
+              results[i].stats.residual_history);
+    EXPECT_EQ(results[0].x, results[i].x);
+  }
 }
 
 }  // namespace
