@@ -12,7 +12,14 @@
 //      single-core container (see "nproc" in the output) no speedup can
 //      materialize — the engine's scaling needs real cores.
 //
-//   2. gram_microbench — the blocked V^T·W Gram kernel and the V·R panel
+//   2. event_overlap — the same CA-GMRES workload solved once under
+//      SyncMode::kBarrier (the seed's coarse host_wait_all structure) and
+//      once under kEvent (per-buffer record/wait, DESIGN.md §10), solver
+//      results byte-compared. The charged pipeline seconds must drop in
+//      event mode: the halo exchange's consumers stop blocking on devices
+//      they never read.
+//
+//   3. gram_microbench — the blocked V^T·W Gram kernel and the V·R panel
 //      update in blas3.cpp against naive triple loops, single-threaded,
 //      on a panel shape (long m, narrow k) where the long dimension
 //      doesn't fit in cache. This isolates the cache-blocking win from
@@ -173,6 +180,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- event overlap: barrier vs per-buffer event sync -------------------
+  // Same problem, same worker count (0 — charged times are worker-
+  // invariant); only the sync structure differs. The arithmetic is
+  // identical in both modes, so x must match bitwise.
+  double sim_barrier = 0.0, sim_event = 0.0;
+  double mpk_barrier = 0.0, mpk_event = 0.0;
+  bool event_identical = false;
+  bool event_converged = true;
+  {
+    std::vector<double> x_barrier, x_event;
+    for (const bool ev : {false, true}) {
+      sim::Machine machine(ng);
+      machine.set_sync_mode(ev ? sim::SyncMode::kEvent
+                               : sim::SyncMode::kBarrier);
+      core::SolverOptions so = sopts;
+      so.s = smoke ? 5 : opts.get_int("s");
+      const core::SolveResult res = core::ca_gmres(machine, p, so);
+      (ev ? sim_event : sim_barrier) = res.stats.time_total;
+      (ev ? mpk_event : mpk_barrier) = res.stats.time_mpk;
+      (ev ? x_event : x_barrier) = res.x;
+      event_converged = event_converged && res.stats.converged;
+    }
+    event_identical = x_event == x_barrier;
+    std::printf(
+        "\n  event_overlap: barrier sim=%.6fs  event sim=%.6fs  "
+        "(%.4fx)%s\n",
+        sim_barrier, sim_event,
+        sim_event > 0.0 ? sim_barrier / sim_event : 0.0,
+        event_identical ? "" : "  RESULTS DIVERGED");
+  }
+
   // --- microbench: blocked vs naive, single thread -----------------------
 #ifdef _OPENMP
   omp_set_num_threads(1);
@@ -242,6 +280,18 @@ int main(int argc, char** argv) {
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"event_overlap\": {\n";
+  out << "    \"solver\": \"ca_gmres\", \"ng\": " << ng
+      << ", \"workers\": 0,\n";
+  out << "    \"barrier_sim_seconds\": " << sim_barrier
+      << ", \"event_sim_seconds\": " << sim_event << ",\n";
+  out << "    \"barrier_mpk_seconds\": " << mpk_barrier
+      << ", \"event_mpk_seconds\": " << mpk_event << ",\n";
+  out << "    \"speedup\": "
+      << (sim_event > 0.0 ? sim_barrier / sim_event : 0.0) << ",\n";
+  out << "    \"converged\": " << json_bool(event_converged)
+      << ", \"identical_results\": " << json_bool(event_identical) << "\n";
+  out << "  },\n";
   out << "  \"gram_microbench\": {\n";
   out << "    \"rows\": " << gram_rows << ", \"cols\": " << gram_cols
       << ",\n";

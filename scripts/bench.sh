@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Wall-clock bench runner: builds the default preset and runs the host-engine
-# worker sweep + blocked-BLAS microbench, writing BENCH_wallclock.json at the
-# repo root. Extra arguments pass straight through to the bench binary
-# (e.g. --matrix=cant --scale=1.0 --ng=2); see `wallclock --help`.
+# worker sweep + event-overlap comparison + blocked-BLAS microbench, writing
+# BENCH_wallclock.json at the repo root. Extra arguments pass straight
+# through to the bench binary (e.g. --matrix=cant --scale=1.0 --ng=2); see
+# `wallclock --help`.
+#
+#   --compare   after the run, gate on the event_overlap section: fail if
+#               event-sync charged time regressed more than 10% over the
+#               barrier-sync baseline, or if the two modes' results diverged.
 #
 # Note: the worker-sweep speedup needs real cores. On a single-core machine
 # the sweep still runs (and still checks result identity across worker
@@ -11,10 +16,45 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+compare=0
+passthrough=()
+for arg in "$@"; do
+  case "$arg" in
+    --compare) compare=1 ;;
+    *) passthrough+=("$arg") ;;
+  esac
+done
+
 cmake --preset default
 cmake --build --preset default -j --target wallclock
 
-./build/bench/wallclock --out BENCH_wallclock.json "$@"
+./build/bench/wallclock --out BENCH_wallclock.json ${passthrough[@]+"${passthrough[@]}"}
 
 echo
 echo "Wrote $(pwd)/BENCH_wallclock.json"
+
+if [[ "$compare" == 1 ]]; then
+  echo
+  echo "== compare: event-sync vs barrier-sync charged time =="
+  python3 - BENCH_wallclock.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+ov = doc.get("event_overlap")
+if not ov:
+    sys.exit("compare: JSON has no event_overlap section")
+if not ov.get("identical_results"):
+    sys.exit(f"compare: event and barrier modes produced different x: {ov}")
+barrier = ov["barrier_sim_seconds"]
+event = ov["event_sim_seconds"]
+if event > 1.10 * barrier:
+    sys.exit(
+        "compare: event-sync charged time regressed >10% vs barrier-sync: "
+        f"{event:.6f}s vs {barrier:.6f}s"
+    )
+print(
+    f"compare OK: barrier {barrier:.6f}s, event {event:.6f}s "
+    f"(speedup {barrier / event:.4f}x, results identical)"
+)
+EOF
+fi

@@ -46,7 +46,7 @@ if [[ "$bench_smoke" == 1 ]]; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-for key in ("solver_sweep", "gram_microbench", "nproc"):
+for key in ("solver_sweep", "event_overlap", "gram_microbench", "nproc"):
     if key not in doc:
         sys.exit(f"bench smoke: JSON missing key {key!r}")
 if not doc["solver_sweep"]:
@@ -54,6 +54,14 @@ if not doc["solver_sweep"]:
 for row in doc["solver_sweep"]:
     if not row.get("identical_to_serial"):
         sys.exit(f"bench smoke: results diverged across workers: {row}")
+ov = doc["event_overlap"]
+if not ov.get("identical_results"):
+    sys.exit(f"bench smoke: event/barrier results diverged: {ov}")
+if ov["event_sim_seconds"] > 1.10 * ov["barrier_sim_seconds"]:
+    sys.exit(
+        "bench smoke: event-sync charged time regressed >10% vs barrier: "
+        f"{ov['event_sim_seconds']:.6f}s vs {ov['barrier_sim_seconds']:.6f}s"
+    )
 print("bench smoke: JSON OK")
 EOF
 fi

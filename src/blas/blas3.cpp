@@ -13,7 +13,8 @@
 // memory-bound, so the win is a single pass over V: block the long
 // dimension so every involved column block stays cache-resident, and
 // register-block the skinny dimension (4 fused terms per pass) to amortize
-// loads of the running sums.
+// loads of the running sums. The transposed-B branches (N,T and T,T) use
+// the same two schemes, so every gemm shape is now cache-blocked.
 //
 // Determinism contract: every output element accumulates its inner-
 // dimension terms ONE AT A TIME in the same order as the naive triple
@@ -120,23 +121,65 @@ void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
       for (int i = 0; i < m; ++i) cj[i] += alpha * accj[i];
     }
   } else if (ta == Trans::N && tb == Trans::T) {
-    for (int j = 0; j < n; ++j) {
-      double* cj = c + static_cast<std::size_t>(j) * ldc;
-      for (int p = 0; p < k; ++p) {
-        const double t = alpha * *elem(b, ldb, j, p);
-        const double* ap = a + static_cast<std::size_t>(p) * lda;
-        for (int i = 0; i < m; ++i) cj[i] += t * ap[i];
+    // C += alpha * A * B^T — long dimension kept, like N,N but with B read
+    // across a row. Row-blocked the same way: an i-block of A's k columns
+    // stays cache-resident across the n output columns, with four p terms
+    // fused per pass and added one at a time in p order (bit-identical to
+    // the naive j/p/i loop this replaces).
+#pragma omp parallel for schedule(static) if (static_cast<long long>(m) * n * k > 1 << 18)
+    for (int i0 = 0; i0 < m; i0 += kLongBlock) {
+      const int i1 = std::min(m, i0 + kLongBlock);
+      for (int j = 0; j < n; ++j) {
+        double* cj = c + static_cast<std::size_t>(j) * ldc;
+        int p = 0;
+        for (; p + 4 <= k; p += 4) {
+          const double t0 = alpha * *elem(b, ldb, j, p);
+          const double t1 = alpha * *elem(b, ldb, j, p + 1);
+          const double t2 = alpha * *elem(b, ldb, j, p + 2);
+          const double t3 = alpha * *elem(b, ldb, j, p + 3);
+          const double* a0 = a + static_cast<std::size_t>(p) * lda;
+          const double* a1 = a + static_cast<std::size_t>(p + 1) * lda;
+          const double* a2 = a + static_cast<std::size_t>(p + 2) * lda;
+          const double* a3 = a + static_cast<std::size_t>(p + 3) * lda;
+          for (int i = i0; i < i1; ++i) {
+            double x = cj[i];
+            x += t0 * a0[i];
+            x += t1 * a1[i];
+            x += t2 * a2[i];
+            x += t3 * a3[i];
+            cj[i] = x;
+          }
+        }
+        for (; p < k; ++p) {
+          const double t = alpha * *elem(b, ldb, j, p);
+          const double* ap = a + static_cast<std::size_t>(p) * lda;
+          for (int i = i0; i < i1; ++i) cj[i] += t * ap[i];
+        }
       }
     }
   } else {  // T, T
+    // C(i,j) += alpha * dot(A(:,i), B(j,:)) — contracted dimension blocked
+    // like T,N, with the running dot spilled through an m x n scratch
+    // between p-blocks. Inner accumulation stays strictly p-ordered, so the
+    // result is bit-identical to the naive j/i/p loop this replaces.
+    std::vector<double> acc(static_cast<std::size_t>(m) * n, 0.0);
+    for (int p0 = 0; p0 < k; p0 += kLongBlock) {
+      const int p1 = std::min(k, p0 + kLongBlock);
+#pragma omp parallel for schedule(static) if (static_cast<long long>(m) * k > 1 << 16)
+      for (int j = 0; j < n; ++j) {
+        double* accj = acc.data() + static_cast<std::size_t>(j) * m;
+        for (int i = 0; i < m; ++i) {
+          const double* ai = a + static_cast<std::size_t>(i) * lda;
+          double s = accj[i];
+          for (int p = p0; p < p1; ++p) s += ai[p] * *elem(b, ldb, j, p);
+          accj[i] = s;
+        }
+      }
+    }
     for (int j = 0; j < n; ++j) {
       double* cj = c + static_cast<std::size_t>(j) * ldc;
-      for (int i = 0; i < m; ++i) {
-        const double* ai = a + static_cast<std::size_t>(i) * lda;
-        double acc = 0.0;
-        for (int p = 0; p < k; ++p) acc += ai[p] * *elem(b, ldb, j, p);
-        cj[i] += alpha * acc;
-      }
+      const double* accj = acc.data() + static_cast<std::size_t>(j) * m;
+      for (int i = 0; i < m; ++i) cj[i] += alpha * accj[i];
     }
   }
 }

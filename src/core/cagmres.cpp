@@ -587,6 +587,16 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         continue;
       }
       tainted_rollbacks = 0;
+      if (health_on) {
+        // Whole-prefix condition sample (opt-in): one charged Gram sweep
+        // over every orthonormal column this cycle produced, catching
+        // cross-block orthogonality decay the per-block samples miss.
+        const HealthEventKind prefix_trip =
+            hm.check_restart_prefix(v, done, restart, st.iterations);
+        if (prefix_trip != HealthEventKind::kNone) {
+          respond(prefix_trip, restart);
+        }
+      }
       ++st.restarts;
       ++restart;
       // The true residual decides at the top of the next restart; the

@@ -116,7 +116,11 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
       const int prev = j + 1;  // columns v_0..v_j are orthonormal
 
       // (1) Post the fused reduction for z_j: projections V^T z_j plus
-      //     ||z_j||^2, one D2H message per device.
+      //     ||z_j||^2, one D2H message per device, and record one event per
+      //     message — the reduction's arrival, before the lookahead SpMV is
+      //     queued behind it. (Barrier mode keeps the hand-rolled timestamp
+      //     capture this event API generalizes; both charge identically.)
+      std::vector<sim::Event> red_ev(static_cast<std::size_t>(ng));
       for (int d = 0; d < ng; ++d) {
         auto& p = partial[static_cast<std::size_t>(d)];
         sim::dev_gemv_t(machine, d, v.local_rows(d), prev, v.col(d, 0),
@@ -124,21 +128,32 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
         p[static_cast<std::size_t>(prev)] = sim::dev_dot(
             machine, d, v.local_rows(d), z.col(d, j), z.col(d, j));
         machine.d2h(d, 8.0 * (prev + 1));
+        if (machine.event_sync()) red_ev[static_cast<std::size_t>(d)] =
+            machine.record_event(d);
       }
-      // Reduction arrival time, recorded BEFORE the lookahead SpMV is
-      // queued behind it.
       double t_red = machine.clock().host_time();
-      for (int d = 0; d < ng; ++d) {
-        t_red = std::max(t_red, machine.clock().device_time(d));
+      if (!machine.event_sync()) {
+        for (int d = 0; d < ng; ++d) {
+          t_red = std::max(t_red, machine.clock().device_time(d));
+        }
       }
 
       // (2) Lookahead product w = A z_j, overlapping the reduction wait.
       if (j + 1 <= mm) spmv.spmv(machine, z, j, z, j + 1);
 
       // (3) The host waits only for the reduction messages, not the SpMV.
+      //     In event mode the waits also cover, wall-clock, exactly the
+      //     closures that filled partial[] — the host sum below no longer
+      //     leans on the lookahead exchange having drained the machine.
       {
         sim::PhaseScope phase2(machine, "orth");
-        machine.clock().host_wait_time(t_red);
+        if (machine.event_sync()) {
+          for (int d = 0; d < ng; ++d) {
+            machine.host_wait_event(red_ev[static_cast<std::size_t>(d)]);
+          }
+        } else {
+          machine.clock().host_wait_time(t_red);
+        }
         machine.charge_host(sim::Kernel::kAxpy,
                             static_cast<double>(prev + 1) * ng,
                             16.0 * (prev + 1) * ng);

@@ -24,17 +24,30 @@ MpkExecutor::MpkExecutor(const MpkPlan& plan) : plan_(&plan) {
   const int ng = plan.n_devices();
   z_.resize(static_cast<std::size_t>(ng));
   pack_buf_.resize(static_cast<std::size_t>(ng));
+  ext_owners_.resize(static_cast<std::size_t>(ng));
   for (int d = 0; d < ng; ++d) {
     const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
     z_[static_cast<std::size_t>(d)].assign(
         3, std::vector<double>(static_cast<std::size_t>(dp.z_size()), 0.0));
     pack_buf_[static_cast<std::size_t>(d)].assign(dp.send_local_rows.size(),
                                                   0.0);
+    // ext_owner lists one owner per external index in hop order; reduce it
+    // to the set of distinct senders this device depends on.
+    std::vector<char> seen(static_cast<std::size_t>(ng), 0);
+    for (const int o : dp.ext_owner) seen[static_cast<std::size_t>(o)] = 1;
+    auto& owners = ext_owners_[static_cast<std::size_t>(d)];
+    for (int o = 0; o < ng; ++o) {
+      if (seen[static_cast<std::size_t>(o)] != 0) owners.push_back(o);
+    }
   }
 }
 
 void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
                            int c0, int slot) {
+  if (m.event_sync()) {
+    exchange_events(m, v, c0, slot);
+    return;
+  }
   const MpkPlan& plan = *plan_;
   const int ng = plan.n_devices();
 
@@ -67,9 +80,12 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
     if (next > 0) {
       // Expand the received buffer into z's external slots. Values are read
       // straight from the owners' blocks (all host memory); the transfer
-      // cost was charged above. Safe to run inline while the enqueued
-      // dev_copy above fills zd[0, owned): host_wait_all drained the
-      // owners' streams, and this loop writes only zd[owned, owned+next).
+      // cost was charged above. In this barrier path the host_wait_all of
+      // the gather loop drained every owner's stream, so the loop can run
+      // inline on the host while the enqueued dev_copy above fills
+      // zd[0, owned) — it writes only zd[owned, owned+next). The event path
+      // (exchange_events) has no such global drain and must run the expand
+      // as a consumer-stream closure behind stream_wait_event instead.
       for (int e = 0; e < next; ++e) {
         zd[static_cast<std::size_t>(dp.owned + e)] =
             v.col(dp.ext_owner[static_cast<std::size_t>(e)],
@@ -78,6 +94,78 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
       m.charge_device(d, sim::Kernel::kPack, 0.0, 20.0 * next);
       if (m.consume_kernel_fault(d)) poison(zd.data() + dp.owned, next);
     }
+  }
+}
+
+void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
+                                  int c0, int slot) {
+  // Same messages, charges, and arithmetic as the barrier path, but the
+  // dependency structure is per-buffer: consumer d waits only on the pack
+  // messages of the senders it actually reads (ext_owners_[d]), never on
+  // the rest of the machine. With >= 3 devices in a 1D partition that turns
+  // the exchange from a global barrier into a neighbor-wise pipeline — the
+  // measured charged-time win in BENCH_wallclock.json's event_overlap.
+  const MpkPlan& plan = *plan_;
+  const int ng = plan.n_devices();
+
+  // Gather, recording one event per sender after its pack + d2h.
+  std::vector<sim::Event> packed(static_cast<std::size_t>(ng));
+  for (int d = 0; d < ng; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    if (dp.send_local_rows.empty()) continue;
+    sim::dev_pack(m, d, dp.send_local_rows, v.col(d, c0),
+                  pack_buf_[static_cast<std::size_t>(d)].data());
+    m.d2h(d, 8.0 * static_cast<double>(dp.send_local_rows.size()));
+    packed[static_cast<std::size_t>(d)] = m.record_event(d);
+  }
+
+  // Owned rows never leave their device: assemble them before the host
+  // blocks on anyone, so the copy overlaps every in-flight message.
+  for (int d = 0; d < ng; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    std::vector<double>& zd =
+        z_[static_cast<std::size_t>(d)][static_cast<std::size_t>(slot)];
+    sim::dev_copy(m, d, dp.owned, v.col(d, c0), zd.data());
+  }
+
+  // Scatter: per consumer, wait for its senders, expand its slice of the
+  // received data on the host, and forward it. The host-side expand is
+  // charged per consumer (sum over consumers >= the barrier path's single
+  // `gathered` charge, since shared senders count once per reader — the
+  // accounting bias runs against the event path, so its win is honest).
+  for (int d = 0; d < ng; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    std::vector<double>& zd =
+        z_[static_cast<std::size_t>(d)][static_cast<std::size_t>(slot)];
+    const int next = static_cast<int>(dp.ext_global.size());
+    if (next == 0) continue;
+    const auto& owners = ext_owners_[static_cast<std::size_t>(d)];
+    for (const int o : owners) {
+      m.host_wait_event(packed[static_cast<std::size_t>(o)]);
+    }
+    m.charge_host(sim::Kernel::kCopy, 0.0, 16.0 * next);
+    m.h2d(d, 8.0 * next);
+    // Wall-clock guard for the closure below: it reads the owners' basis
+    // blocks, which their pack closures read too, but a late kernel on an
+    // owner stream could already be overwriting by then in a future layout;
+    // the stream waits pin the closure behind the recorded prefix. Charged,
+    // they are free: the h2d above already starts at >= every event time.
+    for (const int o : owners) {
+      m.stream_wait_event(d, packed[static_cast<std::size_t>(o)]);
+    }
+    m.charge_device(d, sim::Kernel::kPack, 0.0, 20.0 * next);
+    const bool hit = m.consume_kernel_fault(d);
+    const MpkDevicePlan* dpp = &dp;
+    double* zp = zd.data();
+    const sim::DistMultiVec* vp = &v;
+    m.run_on_device(d, [=] {
+      for (int e = 0; e < next; ++e) {
+        zp[static_cast<std::size_t>(dpp->owned + e)] =
+            vp->col(dpp->ext_owner[static_cast<std::size_t>(e)],
+                    c0)[dpp->ext_owner_row[static_cast<std::size_t>(e)]];
+      }
+      if (hit) poison(zp + dpp->owned, next);
+    });
   }
 }
 

@@ -49,13 +49,21 @@ class MpkExecutor {
 
  private:
   /// Halo exchange of column c0 into z-buffer `slot` of every device.
+  /// Dispatches on machine.sync_mode(): the barrier path is the seed's
+  /// gather / host_wait_all / scatter, the event path hands each consumer
+  /// only the senders it reads (exchange_events).
   void exchange(sim::Machine& machine, const sim::DistMultiVec& v, int c0,
                 int slot);
+  void exchange_events(sim::Machine& machine, const sim::DistMultiVec& v,
+                       int c0, int slot);
 
   const MpkPlan* plan_;
   // Triple-buffered working vectors per device (pair shifts read two back).
   std::vector<std::vector<std::vector<double>>> z_;
   std::vector<std::vector<double>> pack_buf_;
+  // Distinct sending devices whose packed entries device d consumes, in
+  // ascending order (derived once from ext_owner; drives the event path).
+  std::vector<std::vector<int>> ext_owners_;
 };
 
 }  // namespace cagmres::mpk

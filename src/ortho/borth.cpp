@@ -29,6 +29,11 @@ blas::DMat borth(sim::Machine& machine, BorthMethod method,
   blas::DMat c(prev, blk);
   if (prev == 0) return c;
 
+  // Sync structure: every producer/consumer hand-off below goes through
+  // reduce_to_host / broadcast_charge, which under SyncMode::kEvent wait on
+  // per-device Gram-block events instead of a machine-wide barrier — so a
+  // BOrth reduction only blocks on the streams whose partials it sums, and
+  // the next MPK stage already queued on other streams keeps running.
   if (method == BorthMethod::kCgs) {
     // One projection C = Q_prev^T V_block and one update, a single
     // reduction of prev*blk coefficients.

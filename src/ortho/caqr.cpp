@@ -25,6 +25,7 @@ TsqrResult tsqr_caqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1) {
   // Local QR on each device.
   std::vector<blas::DMat> local_q(static_cast<std::size_t>(ng));
   std::vector<blas::DMat> local_r(static_cast<std::size_t>(ng));
+  std::vector<sim::Event> shipped(static_cast<std::size_t>(ng));
   for (int d = 0; d < ng; ++d) {
     const int rows = v.local_rows(d);
     CAGMRES_REQUIRE(rows >= k,
@@ -41,8 +42,17 @@ TsqrResult tsqr_caqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1) {
     sim::dev_qr_explicit(m, d, block, local_q[static_cast<std::size_t>(d)],
                          local_r[static_cast<std::size_t>(d)]);
     m.d2h(d, 8.0 * k * k);  // ship the local R factor
+    if (m.event_sync()) shipped[static_cast<std::size_t>(d)] = m.record_event(d);
   }
-  m.host_wait_all();
+  if (m.event_sync()) {
+    // The host only needs the ng local R messages, not idle devices: wait
+    // on each ship event rather than the whole machine.
+    for (int d = 0; d < ng; ++d) {
+      m.host_wait_event(shipped[static_cast<std::size_t>(d)]);
+    }
+  } else {
+    m.host_wait_all();
+  }
 
   // Host combines the stacked R factors with one more QR.
   blas::DMat stacked(ng * k, k);

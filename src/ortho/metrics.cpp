@@ -67,13 +67,18 @@ double condition_number_charged(sim::Machine& m, const sim::DistMultiVec& v,
   // Priced like the CholQR Gram step it duplicates: one SYRK per device
   // over the panel, the k x k reduction to the host, and the host-side
   // Jacobi sweeps.
+  std::vector<sim::Event> ev;
   for (int d = 0; d < v.n_parts(); ++d) {
     const double rows = static_cast<double>(v.local_rows(d));
     m.charge_device(d, sim::Kernel::kGemm, rows * k * k,
                     8.0 * (rows * k + static_cast<double>(k) * k));
     m.d2h(d, 8.0 * static_cast<double>(k) * k);
+    if (m.event_sync()) ev.push_back(m.record_event(d));
   }
-  m.host_wait_all();
+  // The waits come after every message is in flight (waiting inside the
+  // posting loop would serialize the device kernels through the host).
+  for (const sim::Event& e : ev) m.host_wait_event(e);
+  if (!m.event_sync()) m.host_wait_all();
   m.charge_host(sim::Kernel::kSmall, 30.0 * static_cast<double>(k) * k * k,
                 0.0);
   return condition_number(v, c0, c1);

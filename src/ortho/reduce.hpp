@@ -9,8 +9,12 @@
 namespace cagmres::ortho::detail {
 
 /// Sums the per-device partial buffers (each `len` doubles) into `out`,
-/// charging one asynchronous D2H message per device, a host wait, and the
-/// host-side additions. This is the "on CPU (comm)" step of Fig. 9.
+/// charging one asynchronous D2H message per device, the wait for those
+/// messages, and the host-side additions. This is the "on CPU (comm)" step
+/// of Fig. 9. Under SyncMode::kBarrier the wait is a host_wait_all; under
+/// kEvent it is one host_wait_event per message, so the wall-clock block
+/// covers exactly the closures that filled each partial and later work on
+/// other streams keeps running.
 void reduce_to_host(sim::Machine& m,
                     const std::vector<std::vector<double>>& partials, int len,
                     double* out);

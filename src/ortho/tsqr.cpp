@@ -81,8 +81,24 @@ void reduce_to_host(sim::Machine& m,
   const int ng = m.n_devices();
   CAGMRES_ASSERT(static_cast<int>(partials.size()) == ng,
                  "partials per device");
-  for (int d = 0; d < ng; ++d) m.d2h(d, 8.0 * len);
-  m.host_wait_all();
+  if (m.event_sync()) {
+    // Per-buffer sync: one event per partial, recorded right after its d2h.
+    // The charged host time lands on the same max as the barrier (every
+    // device sends), but the wall-clock wait covers exactly the closures
+    // that produced each partial — later work on other streams keeps
+    // running, and retired devices' frozen timelines are never consulted.
+    std::vector<sim::Event> ev(static_cast<std::size_t>(ng));
+    for (int d = 0; d < ng; ++d) {
+      m.d2h(d, 8.0 * len);
+      ev[static_cast<std::size_t>(d)] = m.record_event(d);
+    }
+    for (int d = 0; d < ng; ++d) {
+      m.host_wait_event(ev[static_cast<std::size_t>(d)]);
+    }
+  } else {
+    for (int d = 0; d < ng; ++d) m.d2h(d, 8.0 * len);
+    m.host_wait_all();
+  }
   for (int i = 0; i < len; ++i) out[i] = 0.0;
   for (int d = 0; d < ng; ++d) {
     const auto& p = partials[static_cast<std::size_t>(d)];

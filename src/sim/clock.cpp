@@ -27,6 +27,12 @@ void Clock::host_wait_all() {
   for (const double t : dev_) host_ = std::max(host_, t);
 }
 
+void Clock::device_wait_time(int d, double t) {
+  CAGMRES_ASSERT(0 <= d && d < n_devices(), "device out of range");
+  auto& own = dev_[static_cast<std::size_t>(d)];
+  own = std::max(own, t);
+}
+
 void Clock::device_wait_host(int d) {
   CAGMRES_ASSERT(0 <= d && d < n_devices(), "device out of range");
   auto& t = dev_[static_cast<std::size_t>(d)];

@@ -46,6 +46,11 @@ class Clock {
   /// — enabling communication/computation overlap a la pipelined GMRES).
   void host_wait_time(double t) { host_ = std::max(host_, t); }
 
+  /// Device d's next op cannot start before the given simulated timestamp
+  /// (the cudaStreamWaitEvent analogue: the waiter's timeline advances to
+  /// max(own, event), without involving the host).
+  void device_wait_time(int d, double t);
+
   /// Host blocks until all devices are idle.
   void host_wait_all();
 

@@ -8,6 +8,8 @@ namespace cagmres::sim {
 
 HostPool::HostPool(int n_streams, int n_workers)
     : in_flight_(static_cast<std::size_t>(n_streams), 0),
+      enqueued_(static_cast<std::size_t>(n_streams), 0),
+      completed_(static_cast<std::size_t>(n_streams), 0),
       latched_(static_cast<std::size_t>(n_streams)) {
   CAGMRES_REQUIRE(n_streams >= 0, "host pool: negative stream count");
   spawn(n_workers);
@@ -55,7 +57,10 @@ void HostPool::enqueue(int stream, std::function<void()> fn) {
   CAGMRES_REQUIRE(s < in_flight_.size(), "host pool: bad stream");
   if (threads_.empty()) {
     // Serial mode: byte-identical to the pre-engine behaviour, exceptions
-    // propagate straight to the caller.
+    // propagate straight to the caller. The counters still move so that a
+    // ticket taken in serial mode is complete by construction.
+    ++enqueued_[s];
+    ++completed_[s];
     fn();
     return;
   }
@@ -63,6 +68,7 @@ void HostPool::enqueue(int stream, std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     queues_[w].push_back(Task{stream, std::move(fn)});
+    ++enqueued_[s];
     ++in_flight_[s];
     ++total_in_flight_;
   }
@@ -89,10 +95,12 @@ void HostPool::worker_main(std::size_t w) {
     }
     lk.lock();
     if (err && !latched_[s]) latched_[s] = err;
+    ++completed_[s];
     --in_flight_[s];
-    if (--total_in_flight_ == 0 || in_flight_[s] == 0) {
-      cv_done_.notify_all();
-    }
+    --total_in_flight_;
+    // Every completion is notified (not just stream/pool idleness): ticket
+    // waiters block on a completed_ threshold that can be crossed mid-stream.
+    cv_done_.notify_all();
   }
 }
 
@@ -130,6 +138,39 @@ void HostPool::drain_all() {
     }
   }
   if (err) std::rethrow_exception(err);
+}
+
+std::int64_t HostPool::ticket(int stream) {
+  const auto s = static_cast<std::size_t>(stream);
+  CAGMRES_REQUIRE(s < in_flight_.size(), "host pool: bad stream");
+  if (threads_.empty()) return enqueued_[s];
+  std::lock_guard<std::mutex> lk(mu_);
+  return enqueued_[s];
+}
+
+void HostPool::wait_ticket(int stream, std::int64_t ticket) {
+  const auto s = static_cast<std::size_t>(stream);
+  CAGMRES_REQUIRE(s < in_flight_.size(), "host pool: bad stream");
+  if (threads_.empty()) return;  // serial mode: every ticket is complete
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return completed_[s] >= ticket; });
+    err = std::exchange(latched_[s], nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void HostPool::enqueue_wait(int stream, int on_stream, std::int64_t ticket) {
+  CAGMRES_REQUIRE(
+      static_cast<std::size_t>(on_stream) < in_flight_.size(),
+      "host pool: bad stream");
+  if (threads_.empty() || stream == on_stream) return;  // FIFO covers it
+  const auto o = static_cast<std::size_t>(on_stream);
+  enqueue(stream, [this, o, ticket] {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return completed_[o] >= ticket; });
+  });
 }
 
 void HostPool::drain_all_nothrow() noexcept {

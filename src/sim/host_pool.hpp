@@ -29,6 +29,19 @@ namespace cagmres::sim {
 /// task are latched per stream; later tasks on a broken stream are skipped
 /// (their inputs may be garbage) and the exception rethrows at the next
 /// drain of that stream.
+///
+/// Tickets are the wall-clock half of the cudaEvent analogue: ticket(s)
+/// snapshots the number of tasks enqueued to stream s so far, and
+/// wait_ticket / enqueue_wait block on only that prefix having *completed*
+/// (skipped tasks on a latched stream still count as completed, so a waiter
+/// never deadlocks on a broken producer). This is strictly finer than
+/// drain(): tasks enqueued after the ticket are not waited on.
+///
+/// enqueue_wait cannot deadlock: tickets are snapshotted on the (single)
+/// posting thread before the waiter is enqueued, so a waiter only ever
+/// blocks on tasks that sit ahead of it in every worker's FIFO deque.
+/// Inductively, the oldest incomplete task in the pool is never a waiter
+/// whose ticket is unsatisfied, so progress is always possible.
 class HostPool {
  public:
   HostPool(int n_streams, int n_workers);
@@ -61,6 +74,23 @@ class HostPool {
   /// the destructor, where a second throw would terminate.
   void drain_all_nothrow() noexcept;
 
+  /// Snapshot of `stream`'s enqueue counter: a wall-clock event marking
+  /// every task posted to the stream so far. With zero workers tasks run
+  /// inline, so any returned ticket is already complete.
+  std::int64_t ticket(int stream);
+
+  /// Calling-thread block until `stream` has completed (run or skipped) at
+  /// least `ticket` tasks. Rethrows (and clears) the stream's latched
+  /// exception afterwards, like drain(), so a host-side event wait is also
+  /// an error-collection point for that stream.
+  void wait_ticket(int stream, std::int64_t ticket);
+
+  /// Appends a task to `stream` that blocks until `on_stream` has completed
+  /// at least `ticket` tasks — the cudaStreamWaitEvent analogue. Never
+  /// rethrows `on_stream`'s latch (the producing stream keeps it for its
+  /// own next drain). No-op with zero workers or when waiting on itself.
+  void enqueue_wait(int stream, int on_stream, std::int64_t ticket);
+
  private:
   struct Task {
     int stream;
@@ -78,6 +108,8 @@ class HostPool {
   std::condition_variable cv_done_;  ///< drainers wait for idle
   std::vector<std::deque<Task>> queues_;          ///< one per worker
   std::vector<std::int64_t> in_flight_;           ///< one per stream
+  std::vector<std::int64_t> enqueued_;            ///< per stream, monotonic
+  std::vector<std::int64_t> completed_;           ///< per stream, monotonic
   std::vector<std::exception_ptr> latched_;       ///< one per stream
   std::int64_t total_in_flight_ = 0;
   bool stop_ = false;

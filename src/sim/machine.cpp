@@ -20,6 +20,15 @@ int default_host_workers(int n_devices) {
   return std::clamp(n, 0, n_devices);
 }
 
+/// Sync mode for new machines: CAGMRES_SYNC_MODE=event opts every solver
+/// into per-buffer events; anything else (or unset) keeps the seed's coarse
+/// barrier structure, so existing charged timings are bit-reproducible.
+SyncMode default_sync_mode() {
+  const char* s = std::getenv("CAGMRES_SYNC_MODE");
+  if (s != nullptr && std::string(s) == "event") return SyncMode::kEvent;
+  return SyncMode::kBarrier;
+}
+
 }  // namespace
 
 Counters Counters::operator-(const Counters& rhs) const {
@@ -61,6 +70,7 @@ Machine::Machine(int n_devices, PerfModel model)
       counters_(n_devices),
       dev_ops_(static_cast<std::size_t>(n_devices), 0),
       dev_poison_(static_cast<std::size_t>(n_devices), 0),
+      sync_mode_(default_sync_mode()),
       pool_(n_devices, default_host_workers(n_devices)) {
   dev_map_.resize(static_cast<std::size_t>(n_devices));
   std::iota(dev_map_.begin(), dev_map_.end(), 0);
@@ -73,6 +83,7 @@ Machine::Machine(Topology topology, PerfModel model)
       counters_(topology.n_devices()),
       dev_ops_(static_cast<std::size_t>(topology.n_devices()), 0),
       dev_poison_(static_cast<std::size_t>(topology.n_devices()), 0),
+      sync_mode_(default_sync_mode()),
       pool_(topology.n_devices(),
             default_host_workers(topology.n_devices())) {
   CAGMRES_REQUIRE(topology.n_nodes >= 1 && topology.gpus_per_node >= 1,
@@ -254,6 +265,42 @@ void Machine::h2d(int d, double bytes) {
   ++counters_.h2d_msgs;
   if (faults_.armed()) retry_corrupt_transfer(d, p, bytes, op, "retry:h2d");
   mark_phase();
+}
+
+Event Machine::record_event(int d) {
+  Event e;
+  e.physical = physical_device(d);
+  e.t = clock_.device_time(e.physical);
+  e.ticket = pool_.ticket(e.physical);
+  if (tracing_) trace_.record_instant(e.physical, e.t, "event:record", phase_);
+  return e;
+}
+
+void Machine::stream_wait_event(int d, const Event& e) {
+  CAGMRES_REQUIRE(e.physical >= 0, "wait on default-constructed event");
+  const int p = physical_device(d);
+  mark_phase();
+  clock_.device_wait_time(p, e.t);
+  if (tracing_) {
+    trace_.record_instant(p, clock_.device_time(p), "event:stream_wait",
+                          phase_);
+  }
+  // Wall-clock half: closures later enqueued on p must not run before the
+  // producer's recorded prefix. Same-stream waits are free (FIFO order).
+  pool_.enqueue_wait(p, e.physical, e.ticket);
+}
+
+void Machine::host_wait_event(const Event& e) {
+  CAGMRES_REQUIRE(e.physical >= 0, "wait on default-constructed event");
+  // Wall-clock half first: the host is about to read data produced by the
+  // recorded closures. Unlike host_wait(), only the event's prefix of that
+  // one stream is drained — later closures and other streams keep running.
+  pool_.wait_ticket(e.physical, e.ticket);
+  mark_phase();
+  clock_.host_wait_time(e.t);
+  if (tracing_) {
+    trace_.record_instant(-1, clock_.host_time(), "event:host_wait", phase_);
+  }
 }
 
 void Machine::reset() {

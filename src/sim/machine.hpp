@@ -72,6 +72,27 @@ struct Topology {
   int node_of(int device) const { return device / gpus_per_node; }
 };
 
+/// A recorded point on one device's stream — the cudaEvent analogue.
+///
+/// Charged half: `t` is the producing stream's simulated timestamp at record
+/// time; a waiter advances its own timeline to max(own, t). Wall-clock half:
+/// `ticket` marks every closure enqueued to the stream so far, so a waiter
+/// blocks on exactly the work that produced the buffer, not a full drain.
+/// The event names the *physical* stream, so it stays meaningful across
+/// retire_device relabelling (waiting on a retired producer is safe: its
+/// frozen timeline and drained stream make the wait free).
+struct Event {
+  int physical = -1;        ///< physical stream the event was recorded on
+  double t = 0.0;           ///< simulated timestamp of the producing op
+  std::int64_t ticket = 0;  ///< host-pool enqueue ticket (wall-clock half)
+};
+
+/// How the solvers synchronize producer/consumer buffer hand-offs.
+/// kBarrier reproduces the original coarse host_wait_all structure;
+/// kEvent replaces those barriers with per-buffer record/wait pairs so a
+/// consumer never blocks on streams it does not read (DESIGN.md §10).
+enum class SyncMode { kBarrier, kEvent };
+
 /// Bounded retry with exponential backoff for checksum-failed transfers.
 /// The retransmission and every backoff interval are charged to the
 /// simulated clock; when the budget is exhausted the machine throws
@@ -149,6 +170,32 @@ class Machine {
     mark_phase();
     clock_.sync_all();
   }
+
+  // --- per-buffer events (the cudaEvent analogue, DESIGN.md §10) -------
+  /// Sync structure the solvers should build: coarse barriers (seed
+  /// behaviour) or per-buffer events. Defaults to kBarrier; overridable at
+  /// construction with CAGMRES_SYNC_MODE=event|barrier.
+  SyncMode sync_mode() const { return sync_mode_; }
+  void set_sync_mode(SyncMode mode) { sync_mode_ = mode; }
+  /// Shorthand for the call sites that branch on the mode.
+  bool event_sync() const { return sync_mode_ == SyncMode::kEvent; }
+
+  /// Records an event on logical device d's stream after everything posted
+  /// to it so far (cudaEventRecord analogue). Pure observation: charges
+  /// nothing and never faults.
+  Event record_event(int d);
+
+  /// Device d's next op cannot start before the event (cudaStreamWaitEvent
+  /// analogue). Charged: d's timeline advances to max(own, event.t) — free
+  /// when the event is already complete. Wall-clock: a closure on d's
+  /// stream blocks until the producing stream has run the recorded prefix.
+  void stream_wait_event(int d, const Event& e);
+
+  /// Host blocks until the event (cudaEventSynchronize analogue). Charged:
+  /// host advances to max(host, event.t). Wall-clock: blocks on exactly the
+  /// closures the ticket covers (and collects that stream's latched worker
+  /// exception, like drain), NOT on later work or other streams.
+  void host_wait_event(const Event& e);
 
   // --- host execution engine ------------------------------------------
   /// Number of real worker threads backing the simulated devices (0 =
@@ -250,6 +297,7 @@ class Machine {
   std::vector<std::int64_t> dev_ops_;     ///< per-physical op counter
   std::vector<char> dev_poison_;          ///< per-physical NaN latch
   bool tracing_ = false;
+  SyncMode sync_mode_;
   std::string phase_ = "other";
   double phase_mark_ = 0.0;
   HostPool pool_;  ///< last member: destroyed (joined) first

@@ -249,6 +249,59 @@ TEST(Blas3, BlockedTallSkinnyPathsMatchReference) {
   EXPECT_LT(frob_diff(s, s_ref), 1e-9 * std::sqrt(static_cast<double>(m)));
 }
 
+// The transposed-B branches (N,T and T,T) share the blocking schemes above
+// (ISSUE 4 satellite). Their determinism contract is exact — the per-element
+// term order matches the naive loops they replaced — so compare with ==, on
+// shapes that straddle kLongBlock, the OpenMP thresholds, and a k with a
+// 4-fuse remainder.
+TEST(Blas3, BlockedTransposedBPathsAreBitIdenticalToNaive) {
+  Rng rng(57);
+  {
+    // N,T: long dimension kept; m crosses the block twice, k % 4 == 2, and
+    // m*n*k exceeds the parallel threshold.
+    const int m = 2500, n = 8, k = 14;
+    DMat a = random_matrix(m, k, rng);
+    DMat b = random_matrix(n, k, rng);
+    const DMat c0 = random_matrix(m, n, rng);
+    DMat c = c0, ref = c0;
+    const double alpha = 1.5, beta = -0.5;
+    gemm(Trans::N, Trans::T, m, n, k, alpha, a.data(), a.ld(), b.data(),
+         b.ld(), beta, c.data(), c.ld());
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) ref(i, j) *= beta;
+      for (int p = 0; p < k; ++p) {
+        const double t = alpha * b(j, p);
+        for (int i = 0; i < m; ++i) ref(i, j) += t * a(i, p);
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) {
+        EXPECT_EQ(c(i, j), ref(i, j)) << "N,T i=" << i << " j=" << j;
+      }
+    }
+  }
+  {
+    // T,T: contracted dimension crosses the block twice and m*k exceeds
+    // the parallel threshold; alpha applied once after the blocked sum.
+    const int m = 30, n = 5, k = 2300;
+    DMat a = random_matrix(k, m, rng);
+    DMat b = random_matrix(n, k, rng);
+    const DMat c0 = random_matrix(m, n, rng);
+    DMat c = c0, ref = c0;
+    const double alpha = 2.0;
+    gemm(Trans::T, Trans::T, m, n, k, alpha, a.data(), a.ld(), b.data(),
+         b.ld(), 1.0, c.data(), c.ld());
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (int p = 0; p < k; ++p) s += a(p, i) * b(j, p);
+        ref(i, j) += alpha * s;
+        EXPECT_EQ(c(i, j), ref(i, j)) << "T,T i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
 TEST(Blas3, SyrkMatchesGemm) {
   const int m = 50, n = 6;
   Rng rng(7);

@@ -1,5 +1,6 @@
 // Unit tests for the simulated multi-GPU runtime: clock semantics, the
 // performance model, counters, phase attribution, and the charged kernels.
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <mutex>
@@ -17,6 +18,7 @@
 #include "graph/partition.hpp"
 #include "sim/clock.hpp"
 #include "sim/device_blas.hpp"
+#include "sim/fault.hpp"
 #include "sim/host_pool.hpp"
 #include "sim/machine.hpp"
 #include "sim/perf_model.hpp"
@@ -422,10 +424,14 @@ TEST(Machine, HostWorkerCountComesFromEnvOrApi) {
   EXPECT_EQ(m.host_workers(), 0);
 }
 
-/// The engine's core guarantee (ISSUE 3): identical RESULTS and identical
-/// SIMULATED TIMES for any worker count, because charging happens on the
-/// calling thread in program order and only pure numeric closures move to
-/// the pool. Exact ==, modeled on the ZeroFault byte-identity tests.
+/// The engine's core guarantee (ISSUE 3, extended by ISSUE 4 to both sync
+/// modes): identical RESULTS and identical SIMULATED TIMES for any worker
+/// count, because charging happens on the calling thread in program order
+/// and only pure numeric closures move to the pool. Exact ==, modeled on
+/// the ZeroFault byte-identity tests. Across modes the numerics are the
+/// same arithmetic in the same order, so x must also match bitwise — while
+/// the event-mode charged time must not exceed the barrier-mode time (a
+/// per-buffer wait can only remove charged blocking, never add it).
 TEST(Machine, SolveIsByteIdenticalForAnyWorkerCount) {
   const auto a = sparse::make_laplace2d(24, 24, 0.1, 0.02);
   const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
@@ -438,24 +444,32 @@ TEST(Machine, SolveIsByteIdenticalForAnyWorkerCount) {
   opts.tol = 1e-6;
   opts.max_restarts = 400;
 
-  std::vector<core::SolveResult> results;
-  std::vector<double> elapsed;
-  for (const int workers : {0, 1, 2, ng}) {
-    Machine m(ng);
-    m.set_host_workers(workers);
-    results.push_back(core::ca_gmres(m, p, opts));
-    elapsed.push_back(m.clock().elapsed());
+  std::vector<core::SolveResult> mode_ref;
+  for (const SyncMode mode : {SyncMode::kBarrier, SyncMode::kEvent}) {
+    std::vector<core::SolveResult> results;
+    std::vector<double> elapsed;
+    for (const int workers : {0, 1, 2, ng}) {
+      Machine m(ng);
+      m.set_sync_mode(mode);
+      m.set_host_workers(workers);
+      results.push_back(core::ca_gmres(m, p, opts));
+      elapsed.push_back(m.clock().elapsed());
+    }
+    const core::SolveStats& ref = results[0].stats;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      const core::SolveStats& st = results[i].stats;
+      EXPECT_EQ(ref.time_total, st.time_total) << "workers case " << i;
+      EXPECT_EQ(ref.iterations, st.iterations);
+      EXPECT_EQ(ref.restarts, st.restarts);
+      EXPECT_EQ(ref.residual_history, st.residual_history);
+      EXPECT_EQ(results[0].x, results[i].x);
+      EXPECT_EQ(elapsed[0], elapsed[i]);
+    }
+    mode_ref.push_back(results[0]);
   }
-  const core::SolveStats& ref = results[0].stats;
-  for (std::size_t i = 1; i < results.size(); ++i) {
-    const core::SolveStats& st = results[i].stats;
-    EXPECT_EQ(ref.time_total, st.time_total) << "workers case " << i;
-    EXPECT_EQ(ref.iterations, st.iterations);
-    EXPECT_EQ(ref.restarts, st.restarts);
-    EXPECT_EQ(ref.residual_history, st.residual_history);
-    EXPECT_EQ(results[0].x, results[i].x);
-    EXPECT_EQ(elapsed[0], elapsed[i]);
-  }
+  EXPECT_EQ(mode_ref[0].x, mode_ref[1].x);  // bitwise across sync modes
+  EXPECT_EQ(mode_ref[0].stats.iterations, mode_ref[1].stats.iterations);
+  EXPECT_LE(mode_ref[1].stats.time_total, mode_ref[0].stats.time_total);
 }
 
 TEST(Machine, PipelinedSolveIsByteIdenticalForAnyWorkerCount) {
@@ -481,6 +495,118 @@ TEST(Machine, PipelinedSolveIsByteIdenticalForAnyWorkerCount) {
               results[i].stats.residual_history);
     EXPECT_EQ(results[0].x, results[i].x);
   }
+}
+
+// --- per-buffer events (DESIGN.md §10) --------------------------------
+
+TEST(HostPool, WaitTicketDoesNotWaitForLaterTasks) {
+  HostPool pool(2, 1);
+  std::atomic<int> ran{0};
+  std::mutex gate;
+  gate.lock();  // holds the SECOND task hostage
+  pool.enqueue(0, [&] { ran.fetch_add(1); });
+  const std::int64_t t = pool.ticket(0);
+  pool.enqueue(0, [&] {
+    std::lock_guard<std::mutex> lk(gate);
+    ran.fetch_add(1);
+  });
+  // The ticket was taken before the gated task was enqueued, so this must
+  // return once the first task completes — the blocked second task sits
+  // behind the ticket and may not be waited for.
+  pool.wait_ticket(0, t);
+  EXPECT_EQ(ran.load(), 1);
+  gate.unlock();
+  pool.drain_all();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(HostPool, EnqueueWaitOrdersCrossStreamWork) {
+  HostPool pool(2, 2);  // streams on distinct workers
+  std::atomic<int> x{0};
+  std::atomic<int> observed{-1};
+  std::mutex gate;
+  gate.lock();
+  pool.enqueue(0, [&] {
+    std::lock_guard<std::mutex> lk(gate);
+    x.store(42);
+  });
+  const std::int64_t t = pool.ticket(0);
+  // Stream 1 must not read x until stream 0's producer completed, even
+  // though the producer is stuck behind the gate on another worker.
+  pool.enqueue_wait(1, 0, t);
+  pool.enqueue(1, [&] { observed.store(x.load()); });
+  gate.unlock();
+  pool.drain_all();
+  EXPECT_EQ(observed.load(), 42);
+}
+
+TEST(HostPool, EnqueueWaitOnSameStreamIsANoOp) {
+  HostPool pool(2, 1);
+  int ran = 0;
+  pool.enqueue(0, [&] { ++ran; });
+  pool.enqueue_wait(0, 0, pool.ticket(0));  // FIFO already orders these
+  pool.enqueue(0, [&] { ++ran; });
+  pool.drain_all();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Machine, EventCarriesProducerTimestampToWaiterStream) {
+  Machine m(2);
+  m.charge_device(0, Kernel::kDot, 2e5, 16e5);
+  const double t0 = m.clock().device_time(0);
+  ASSERT_GT(t0, 0.0);
+  const Event e = m.record_event(0);
+  EXPECT_EQ(e.t, t0);
+  // cudaStreamWaitEvent analogue: the waiter's timeline advances to the
+  // event's charged timestamp without involving the host.
+  m.stream_wait_event(1, e);
+  EXPECT_EQ(m.clock().device_time(1), t0);
+  EXPECT_EQ(m.clock().host_time(), 0.0);
+}
+
+TEST(Machine, WaitOnAlreadyCompleteEventIsFree) {
+  Machine m(2);
+  m.charge_device(1, Kernel::kDot, 1e4, 8e4);
+  const Event early = m.record_event(1);
+  m.charge_device(0, Kernel::kGemm, 2e8, 8e6);  // device 0 is now far ahead
+  const double dev0 = m.clock().device_time(0);
+  ASSERT_GT(dev0, early.t);
+  m.stream_wait_event(0, early);
+  EXPECT_EQ(m.clock().device_time(0), dev0);  // no charged cost
+  // Host-side: waiting on the small event advances the host only to that
+  // event's time, NOT to the global maximum a host_wait_all would charge.
+  m.host_wait_event(early);
+  EXPECT_EQ(m.clock().host_time(), early.t);
+  const double host_before = m.clock().host_time();
+  m.host_wait_event(early);  // second wait on a complete event
+  EXPECT_EQ(m.clock().host_time(), host_before);
+  EXPECT_LT(m.clock().host_time(), dev0);
+}
+
+/// Acceptance: a device kill with events in flight must recover without
+/// deadlock — orphaned wait tickets are satisfied by the kill path's
+/// drain, and physical stream ids survive the retirement remap. Two
+/// workers so the threaded enqueue_wait path is exercised (this test runs
+/// under the tsan preset via the suite's label).
+TEST(Machine, EventSolveSurvivesDeviceKillWithTwoWorkers) {
+  const auto a = sparse::make_laplace2d(24, 24, 0.1, 0.02);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const core::Problem p =
+      core::make_problem(a, b, 3, graph::Ordering::kNatural, true, 1);
+  core::SolverOptions opts;
+  opts.m = 30;
+  opts.s = 6;
+  opts.tol = 1e-6;
+  opts.max_restarts = 400;
+
+  Machine machine(3);
+  machine.set_sync_mode(SyncMode::kEvent);
+  machine.set_host_workers(2);
+  parse_fault_spec("kill:d1@op=400", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, p, opts);
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_EQ(machine.n_devices(), 2);  // one device retired
+  EXPECT_EQ(res.stats.recovery.device_failures, 1);
 }
 
 }  // namespace
