@@ -186,6 +186,8 @@ int main(int argc, char** argv) {
   // identical in both modes, so x must match bitwise.
   double sim_barrier = 0.0, sim_event = 0.0;
   double mpk_barrier = 0.0, mpk_event = 0.0;
+  double borth_barrier = 0.0, borth_event = 0.0;
+  double tsqr_barrier = 0.0, tsqr_event = 0.0;
   bool event_identical = false;
   bool event_converged = true;
   {
@@ -199,6 +201,8 @@ int main(int argc, char** argv) {
       const core::SolveResult res = core::ca_gmres(machine, p, so);
       (ev ? sim_event : sim_barrier) = res.stats.time_total;
       (ev ? mpk_event : mpk_barrier) = res.stats.time_mpk;
+      (ev ? borth_event : borth_barrier) = res.stats.time_borth;
+      (ev ? tsqr_event : tsqr_barrier) = res.stats.time_tsqr;
       (ev ? x_event : x_barrier) = res.x;
       event_converged = event_converged && res.stats.converged;
     }
@@ -209,6 +213,11 @@ int main(int argc, char** argv) {
         sim_barrier, sim_event,
         sim_event > 0.0 ? sim_barrier / sim_event : 0.0,
         event_identical ? "" : "  RESULTS DIVERGED");
+    std::printf(
+        "    ortho phases: mpk %.6fs -> %.6fs  borth %.6fs -> %.6fs  "
+        "tsqr %.6fs -> %.6fs\n",
+        mpk_barrier, mpk_event, borth_barrier, borth_event, tsqr_barrier,
+        tsqr_event);
   }
 
   // --- microbench: blocked vs naive, single thread -----------------------
@@ -287,6 +296,10 @@ int main(int argc, char** argv) {
       << ", \"event_sim_seconds\": " << sim_event << ",\n";
   out << "    \"barrier_mpk_seconds\": " << mpk_barrier
       << ", \"event_mpk_seconds\": " << mpk_event << ",\n";
+  out << "    \"barrier_borth_seconds\": " << borth_barrier
+      << ", \"event_borth_seconds\": " << borth_event << ",\n";
+  out << "    \"barrier_tsqr_seconds\": " << tsqr_barrier
+      << ", \"event_tsqr_seconds\": " << tsqr_event << ",\n";
   out << "    \"speedup\": "
       << (sim_event > 0.0 ? sim_barrier / sim_event : 0.0) << ",\n";
   out << "    \"converged\": " << json_bool(event_converged)

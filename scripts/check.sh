@@ -35,6 +35,18 @@ cmake --preset tsan
 cmake --build --preset tsan -j
 ctest --preset tsan -j
 
+echo
+echo "== event-mode: sim/ortho/fault suites, CAGMRES_SYNC_MODE=event, 2 workers =="
+# Event sync is the fast path (DESIGN §10); rerun the suites that exercise
+# the runtime, the orthogonalization schedules, and the fault scenarios with
+# it forced on and the host pool active, so a regression that only shows
+# under per-buffer events cannot slip through the default-mode passes above.
+# -R before -j: a bare -j greedily consumes the next token as its value.
+CAGMRES_SYNC_MODE=event CAGMRES_HOST_WORKERS=2 \
+  ctest --preset default -R '^(sim_test|ortho_test|faults_test)$' -j
+CAGMRES_SYNC_MODE=event CAGMRES_HOST_WORKERS=2 \
+  ctest --preset tsan -j
+
 if [[ "$bench_smoke" == 1 ]]; then
   echo
   echo "== bench smoke: tiny wall-clock run must emit well-formed JSON =="

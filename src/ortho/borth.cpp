@@ -29,11 +29,16 @@ blas::DMat borth(sim::Machine& machine, BorthMethod method,
   blas::DMat c(prev, blk);
   if (prev == 0) return c;
 
-  // Sync structure: every producer/consumer hand-off below goes through
-  // reduce_to_host / broadcast_charge, which under SyncMode::kEvent wait on
-  // per-device Gram-block events instead of a machine-wide barrier — so a
-  // BOrth reduction only blocks on the streams whose partials it sums, and
-  // the next MPK stage already queued on other streams keeps running.
+  // Sync structure — the dedicated BOrth event chain (DESIGN §10). Each
+  // projection gemm/gemv is followed on its own stream by the d2h of its
+  // partial Gram block; reduce_to_host_events records one event per device
+  // right there, and the host waits on exactly those events (batching the
+  // partial sums against the stragglers' transfers when that is charged-
+  // cheaper). The subtraction update is then enqueued as a consumer-stream
+  // closure behind the coefficient broadcast: the h2d and the update gemm
+  // share the device's FIFO stream, so the update is gated on the broadcast
+  // without any machine-wide barrier, and the next cycle's MPK — already
+  // queued on other streams — keeps running through the whole hand-off.
   if (method == BorthMethod::kCgs) {
     // One projection C = Q_prev^T V_block and one update, a single
     // reduction of prev*blk coefficients.
@@ -45,7 +50,7 @@ blas::DMat borth(sim::Machine& machine, BorthMethod method,
                        v.local(d).ld(), v.col(d, c0), v.local(d).ld(),
                        partial[static_cast<std::size_t>(d)].data(), prev);
     }
-    detail::reduce_to_host(machine, partial, prev * blk, c.data());
+    detail::reduce_to_host_events(machine, partial, prev * blk, c.data());
     detail::broadcast_charge(machine, prev * blk);
     for (int d = 0; d < ng; ++d) {
       sim::dev_gemm_nn_sub(machine, d, v.local_rows(d), prev, blk,
@@ -57,7 +62,9 @@ blas::DMat borth(sim::Machine& machine, BorthMethod method,
 
   // MGS flavor: one reduction per previous column (still blocked across the
   // s+1 new columns — "the s+1 vectors are orthogonalized against v_l at
-  // once", paper §V-A).
+  // once", paper §V-A). Each column's gemv -> reduce -> rank-1 update is
+  // one link of the per-column event chain; successive links on a device
+  // are ordered by its FIFO stream, so no cross-column barrier is needed.
   std::vector<std::vector<double>> partial(
       static_cast<std::size_t>(ng),
       std::vector<double>(static_cast<std::size_t>(blk), 0.0));
@@ -68,7 +75,7 @@ blas::DMat borth(sim::Machine& machine, BorthMethod method,
                       v.local(d).ld(), v.col(d, l),
                       partial[static_cast<std::size_t>(d)].data());
     }
-    detail::reduce_to_host(machine, partial, blk, row.data());
+    detail::reduce_to_host_events(machine, partial, blk, row.data());
     for (int j = 0; j < blk; ++j) c(l, j) = row[static_cast<std::size_t>(j)];
     detail::broadcast_charge(machine, blk);
     for (int d = 0; d < ng; ++d) {

@@ -11,10 +11,29 @@ namespace cagmres::ortho::detail {
 /// Sums the per-device partial buffers (each `len` doubles) into `out`,
 /// charging one asynchronous D2H message per device, the wait for those
 /// messages, and the host-side additions. This is the "on CPU (comm)" step
-/// of Fig. 9. Under SyncMode::kBarrier the wait is a host_wait_all; under
-/// kEvent it is one host_wait_event per message, so the wall-clock block
-/// covers exactly the closures that filled each partial and later work on
-/// other streams keeps running.
+/// of Fig. 9. Returns the per-device event chain: ev[d] marks device d's
+/// partial landing on the host (recorded right after its d2h), so callers
+/// that ship derived data back — CAQR's R panels, BOrth's block updates —
+/// can gate consumer streams on exactly these events.
+///
+/// Under SyncMode::kBarrier the wait is a host_wait_all. Under kEvent the
+/// host waits per event, and the *charged* schedule is chosen
+/// deterministically from the (already known) event timestamps: either one
+/// bulk add after the last arrival, or arrival-batched partial adds that
+/// overlap summation with the stragglers' transfers. Both modes fold the
+/// partials in the same order — ascending cumulative charged device time,
+/// so the heaviest-loaded device (the likely straggler) is folded last and
+/// the post-straggler add covers one partial instead of ng. That order is a
+/// pure function of the charge sequence, never of mode-sensitive
+/// timestamps, so results are bitwise identical across modes and worker
+/// counts; the cheaper charged completion is picked per reduction, so event
+/// mode never loses to the barrier here even when the per-charge fixed cost
+/// outweighs the overlap win.
+std::vector<sim::Event> reduce_to_host_events(
+    sim::Machine& m, const std::vector<std::vector<double>>& partials,
+    int len, double* out);
+
+/// reduce_to_host_events for callers that do not gate anything downstream.
 void reduce_to_host(sim::Machine& m,
                     const std::vector<std::vector<double>>& partials, int len,
                     double* out);

@@ -1,5 +1,7 @@
 #include "ortho/tsqr.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "ortho/methods.hpp"
 #include "ortho/reduce.hpp"
@@ -75,38 +77,128 @@ TsqrResult tsqr(sim::Machine& machine, Method method, sim::DistMultiVec& v,
 
 namespace detail {
 
-void reduce_to_host(sim::Machine& m,
-                    const std::vector<std::vector<double>>& partials, int len,
-                    double* out) {
+namespace {
+
+/// Accumulates partials perm[i0, i1) into out. Every schedule folds the
+/// same permutation front to back — the bitwise contract: batching the
+/// sequential adds differently never changes a value, only the order does.
+void add_partials(const std::vector<std::vector<double>>& partials,
+                  const std::vector<int>& perm, int i0, int i1, int len,
+                  double* out) {
+  for (int i = i0; i < i1; ++i) {
+    const auto& p = partials[static_cast<std::size_t>(perm[
+        static_cast<std::size_t>(i)])];
+    CAGMRES_ASSERT(static_cast<int>(p.size()) >= len, "partial too short");
+    for (int j = 0; j < len; ++j) out[j] += p[static_cast<std::size_t>(j)];
+  }
+}
+
+/// Fold order for a reduction: devices by ascending cumulative charged
+/// seconds (ties by id). The heaviest-loaded device is the likely straggler
+/// of the gemm + d2h chains feeding the reduce; putting it last lets the
+/// event schedule sum everyone else while its transfer is still in flight.
+/// device_busy is a pure function of the charge sequence — identical across
+/// sync modes and worker counts — so the summation order (and with it every
+/// bit of the result) never depends on mode-sensitive timestamps.
+std::vector<int> fold_order(const sim::Machine& m) {
+  std::vector<int> perm(static_cast<std::size_t>(m.n_devices()));
+  for (std::size_t d = 0; d < perm.size(); ++d) perm[d] = static_cast<int>(d);
+  std::stable_sort(perm.begin(), perm.end(), [&m](int a, int b) {
+    return m.device_busy(a) < m.device_busy(b);
+  });
+  return perm;
+}
+
+}  // namespace
+
+std::vector<sim::Event> reduce_to_host_events(
+    sim::Machine& m, const std::vector<std::vector<double>>& partials,
+    int len, double* out) {
   const int ng = m.n_devices();
   CAGMRES_ASSERT(static_cast<int>(partials.size()) == ng,
                  "partials per device");
-  if (m.event_sync()) {
-    // Per-buffer sync: one event per partial, recorded right after its d2h.
-    // The charged host time lands on the same max as the barrier (every
-    // device sends), but the wall-clock wait covers exactly the closures
-    // that produced each partial — later work on other streams keeps
-    // running, and retired devices' frozen timelines are never consulted.
-    std::vector<sim::Event> ev(static_cast<std::size_t>(ng));
-    for (int d = 0; d < ng; ++d) {
-      m.d2h(d, 8.0 * len);
-      ev[static_cast<std::size_t>(d)] = m.record_event(d);
+  std::vector<sim::Event> ev(static_cast<std::size_t>(ng));
+  for (int d = 0; d < ng; ++d) {
+    m.d2h(d, 8.0 * len);
+    // The producing chain's event: the gemm/dot that filled the partial and
+    // the d2h that shipped it, nothing else on the machine.
+    ev[static_cast<std::size_t>(d)] = m.record_event(d);
+  }
+  for (int i = 0; i < len; ++i) out[i] = 0.0;
+  const std::vector<int> perm = fold_order(m);
+  const auto ev_at = [&](int i) -> const sim::Event& {
+    return ev[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+  };
+
+  if (!m.event_sync()) {
+    m.host_wait_all();
+    add_partials(partials, perm, 0, ng, len, out);
+    m.charge_host(sim::Kernel::kAxpy, static_cast<double>(len) * ng,
+                  16.0 * len * ng);
+    return ev;
+  }
+
+  // Event mode. Every event timestamp is already known, so the charged
+  // completion of both candidate schedules is computed exactly up front and
+  // the cheaper one is executed — a deterministic choice (it depends only
+  // on charged times, which are worker-invariant):
+  //   bulk:        wait all events, one add of ng*len terms;
+  //   incremental: walk the fold order, batching every partial that has
+  //                already landed into one add, so summing the early
+  //                arrivals overlaps (in charged time) with the straggling
+  //                transfers. With the straggler last in the fold order the
+  //                final post-straggler add covers one partial, not ng.
+  // The incremental schedule wins when the device timelines are skewed by
+  // more than the per-charge fixed cost; with near-lockstep devices the
+  // bulk add's single fixed cost wins. Both walk the same fold order.
+  const sim::PerfModel& pm = m.perf();
+  const double h0 = m.clock().host_time();
+  double h_bulk = h0;
+  for (int d = 0; d < ng; ++d) {
+    h_bulk = std::max(h_bulk, ev[static_cast<std::size_t>(d)].t);
+  }
+  h_bulk += pm.host_seconds(sim::Kernel::kAxpy, static_cast<double>(len) * ng,
+                            16.0 * len * ng);
+  double h_inc = h0;
+  for (int i = 0; i < ng;) {
+    h_inc = std::max(h_inc, ev_at(i).t);
+    int j = i + 1;
+    while (j < ng && ev_at(j).t <= h_inc) ++j;
+    h_inc += pm.host_seconds(sim::Kernel::kAxpy,
+                             static_cast<double>(len) * (j - i),
+                             16.0 * len * (j - i));
+    i = j;
+  }
+
+  if (h_inc < h_bulk) {
+    for (int i = 0; i < ng;) {
+      m.host_wait_event(ev_at(i));
+      int j = i + 1;
+      // Fold in every partial that already landed (their waits are free).
+      while (j < ng && ev_at(j).t <= m.clock().host_time()) {
+        m.host_wait_event(ev_at(j));
+        ++j;
+      }
+      add_partials(partials, perm, i, j, len, out);
+      m.charge_host(sim::Kernel::kAxpy, static_cast<double>(len) * (j - i),
+                    16.0 * len * (j - i));
+      i = j;
     }
+  } else {
     for (int d = 0; d < ng; ++d) {
       m.host_wait_event(ev[static_cast<std::size_t>(d)]);
     }
-  } else {
-    for (int d = 0; d < ng; ++d) m.d2h(d, 8.0 * len);
-    m.host_wait_all();
+    add_partials(partials, perm, 0, ng, len, out);
+    m.charge_host(sim::Kernel::kAxpy, static_cast<double>(len) * ng,
+                  16.0 * len * ng);
   }
-  for (int i = 0; i < len; ++i) out[i] = 0.0;
-  for (int d = 0; d < ng; ++d) {
-    const auto& p = partials[static_cast<std::size_t>(d)];
-    CAGMRES_ASSERT(static_cast<int>(p.size()) >= len, "partial too short");
-    for (int i = 0; i < len; ++i) out[i] += p[static_cast<std::size_t>(i)];
-  }
-  m.charge_host(sim::Kernel::kAxpy, static_cast<double>(len) * ng,
-                16.0 * len * ng);
+  return ev;
+}
+
+void reduce_to_host(sim::Machine& m,
+                    const std::vector<std::vector<double>>& partials, int len,
+                    double* out) {
+  (void)reduce_to_host_events(m, partials, len, out);
 }
 
 void broadcast_charge(sim::Machine& m, int len) {

@@ -69,6 +69,7 @@ Machine::Machine(int n_devices, PerfModel model)
       clock_(n_devices),
       counters_(n_devices),
       dev_ops_(static_cast<std::size_t>(n_devices), 0),
+      dev_busy_(static_cast<std::size_t>(n_devices), 0.0),
       dev_poison_(static_cast<std::size_t>(n_devices), 0),
       sync_mode_(default_sync_mode()),
       pool_(n_devices, default_host_workers(n_devices)) {
@@ -82,6 +83,7 @@ Machine::Machine(Topology topology, PerfModel model)
       clock_(topology.n_devices()),
       counters_(topology.n_devices()),
       dev_ops_(static_cast<std::size_t>(topology.n_devices()), 0),
+      dev_busy_(static_cast<std::size_t>(topology.n_devices()), 0.0),
       dev_poison_(static_cast<std::size_t>(topology.n_devices()), 0),
       sync_mode_(default_sync_mode()),
       pool_(topology.n_devices(),
@@ -196,6 +198,7 @@ void Machine::charge_device(int d, Kernel k, double flops, double bytes) {
   if (faults_.armed()) poll_faults_kernel(d, p);
   const double t = model_.device_seconds(k, flops, bytes);
   clock_.device_advance(p, t);
+  dev_busy_[static_cast<std::size_t>(p)] += t;
   if (tracing_) {
     trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p),
                   kernel_name(k), phase_);
@@ -235,6 +238,10 @@ void Machine::d2h(int d, double bytes) {
     ++counters_.net_msgs;
   }
   clock_.async_transfer(p, t);
+  // Busy excludes the injected stall (and the retries below): latency-only
+  // faults must not perturb the reduce fold order, or "identical numerics,
+  // strictly more time" would stop holding under injection.
+  dev_busy_[static_cast<std::size_t>(p)] += t - stall;
   if (tracing_) {
     trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p), "d2h",
                   phase_);
@@ -257,6 +264,7 @@ void Machine::h2d(int d, double bytes) {
     ++counters_.net_msgs;
   }
   clock_.async_transfer(p, t);
+  dev_busy_[static_cast<std::size_t>(p)] += t - stall;  // see d2h
   if (tracing_) {
     trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p), "h2d",
                   phase_);
@@ -313,6 +321,7 @@ void Machine::reset() {
   dev_map_.resize(static_cast<std::size_t>(n_physical_devices()));
   std::iota(dev_map_.begin(), dev_map_.end(), 0);
   std::fill(dev_ops_.begin(), dev_ops_.end(), 0);
+  std::fill(dev_busy_.begin(), dev_busy_.end(), 0.0);
   std::fill(dev_poison_.begin(), dev_poison_.end(), 0);
   phase_mark_ = 0.0;
 }

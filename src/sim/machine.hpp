@@ -185,6 +185,18 @@ class Machine {
   /// nothing and never faults.
   Event record_event(int d);
 
+  /// Cumulative charged seconds posted to logical device d's timeline —
+  /// kernels and transfers, excluding event waits. Unlike the device clock
+  /// (whose stalls depend on the sync mode), this is a pure function of the
+  /// charge sequence, so it is identical under kBarrier and kEvent and for
+  /// any worker count. The reduce-to-host fold order is keyed on it: the
+  /// heaviest-loaded device is the likely straggler, and folding it last
+  /// lets the other partials' summation hide under its transfer without the
+  /// order ever depending on mode-sensitive timestamps.
+  double device_busy(int d) const {
+    return dev_busy_[static_cast<std::size_t>(physical_device(d))];
+  }
+
   /// Device d's next op cannot start before the event (cudaStreamWaitEvent
   /// analogue). Charged: d's timeline advances to max(own, event.t) — free
   /// when the event is already complete. Wall-clock: a closure on d's
@@ -207,9 +219,12 @@ class Machine {
   /// Enqueues a functional kernel body on logical device d's in-order
   /// stream. The simulated clock must already have been charged by the
   /// caller (on this thread, in program order) — the closure is pure
-  /// computation on device-owned memory.
-  void run_on_device(int d, std::function<void()> fn) {
-    pool_.enqueue(physical_device(d), std::move(fn));
+  /// computation on device-owned memory. The closure type is forwarded
+  /// straight into the pool's ring slot: no std::function wrapper, no
+  /// heap allocation on the dispatch path.
+  template <typename F>
+  void run_on_device(int d, F&& fn) {
+    pool_.enqueue(physical_device(d), std::forward<F>(fn));
   }
 
   /// Wall-clock-only barrier on one device's stream. Does NOT touch the
@@ -295,6 +310,7 @@ class Machine {
   RetryPolicy retry_;
   std::vector<int> dev_map_;              ///< logical -> physical
   std::vector<std::int64_t> dev_ops_;     ///< per-physical op counter
+  std::vector<double> dev_busy_;          ///< per-physical charged seconds
   std::vector<char> dev_poison_;          ///< per-physical NaN latch
   bool tracing_ = false;
   SyncMode sync_mode_;

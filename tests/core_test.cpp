@@ -146,11 +146,12 @@ TEST(Hessenberg, RecoveryIsExactOnSyntheticData) {
   blas::DMat rb(m + 1, m), hr(m + 1, m);
   blas::gemm(blas::Trans::N, blas::Trans::N, m + 1, m, m + 1, 1.0, r.data(),
              r.ld(), b.data(), b.ld(), 0.0, rb.data(), rb.ld());
-  blas::DMat r_mm(m + 1, m);
+  // H is (m+1) x m, so the contracted dimension of H * R(1:m,1:m) is m.
+  blas::DMat r_mm(m, m);
   for (int j = 0; j < m; ++j) {
     for (int i = 0; i <= j; ++i) r_mm(i, j) = r(i, j);
   }
-  blas::gemm(blas::Trans::N, blas::Trans::N, m + 1, m, m + 1, 1.0, h.data(),
+  blas::gemm(blas::Trans::N, blas::Trans::N, m + 1, m, m, 1.0, h.data(),
              h.ld(), r_mm.data(), r_mm.ld(), 0.0, hr.data(), hr.ld());
   for (int j = 0; j < m; ++j) {
     for (int i = 0; i <= m; ++i) EXPECT_NEAR(hr(i, j), rb(i, j), 1e-10);

@@ -440,6 +440,93 @@ TEST(Determinism, DeviceKillReplaysIdentically) {
   EXPECT_EQ(r1.stats.recovery.repartitions, r2.stats.recovery.repartitions);
 }
 
+// --- sync-mode re-key: the stock scenarios on event-mode timelines ----
+//
+// The time- and op-triggered schedules key off charged timestamps and
+// per-device op counts, both of which shift when per-buffer events replace
+// the coarse barriers (transfers start earlier, the exchange posts in a
+// different per-device order). These run the stock scenarios under both
+// sync modes explicitly — not via CAGMRES_SYNC_MODE — so the fault suite
+// covers event mode on every CI run, which is what cleared the ROADMAP
+// blocker on making kEvent the default.
+
+class SyncModeFaults : public ::testing::TestWithParam<sim::SyncMode> {
+ protected:
+  void apply_mode(Machine& m) { m.set_sync_mode(GetParam()); }
+};
+
+TEST_P(SyncModeFaults, TimeTriggeredKillRetiresAndConverges) {
+  const TestSystem s = make_system(3);
+  Machine machine(3);
+  apply_mode(machine);
+  sim::parse_fault_spec("kill:*@t=2ms", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_EQ(machine.n_devices(), 2);  // the trigger fired on this timeline
+  EXPECT_EQ(res.stats.recovery.device_failures, 1);
+  EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+TEST_P(SyncModeFaults, OpTriggeredKillRetiresAndConverges) {
+  const TestSystem s = make_system(3);
+  Machine machine(3);
+  apply_mode(machine);
+  sim::parse_fault_spec("kill:d2@op=600", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_EQ(machine.n_devices(), 2);
+  EXPECT_EQ(res.stats.recovery.repartitions, 1);
+  EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+TEST_P(SyncModeFaults, StallAddsLatencyOnly) {
+  // Stalls must stay latency-only in every mode: same bits, more time.
+  // In event mode this additionally pins that the reduce fold order is
+  // keyed on fault-free charged time (an injected stall must not reorder
+  // the summation, or the bits would move).
+  const TestSystem s = make_system(3);
+  Machine clean(3);
+  apply_mode(clean);
+  const core::SolveResult r0 = core::ca_gmres(clean, s.p, base_opts());
+  Machine machine(3);
+  apply_mode(machine);
+  sim::parse_fault_spec("seed=3;stall:p=0.05", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_GT(res.stats.recovery.transfer_stalls, 0);
+  EXPECT_EQ(r0.x, res.x);
+  EXPECT_GT(res.stats.time_total, r0.stats.time_total);
+}
+
+TEST_P(SyncModeFaults, NanScrubConverges) {
+  const TestSystem s = make_system(3);
+  Machine machine(3);
+  apply_mode(machine);
+  sim::parse_fault_spec("seed=12;nan:p=0.002", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_GT(res.stats.recovery.kernel_faults, 0);
+  EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+TEST_P(SyncModeFaults, CorruptRetriesAndConverges) {
+  const TestSystem s = make_system(3);
+  Machine machine(3);
+  apply_mode(machine);
+  sim::parse_fault_spec("seed=10;corrupt:p=0.01", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_GT(res.stats.recovery.transfer_retries, 0);
+  EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BarrierAndEvent, SyncModeFaults,
+    ::testing::Values(sim::SyncMode::kBarrier, sim::SyncMode::kEvent),
+    [](const ::testing::TestParamInfo<sim::SyncMode>& info) {
+      return info.param == sim::SyncMode::kEvent ? "event" : "barrier";
+    });
+
 // --- adaptive-s coverage (satellite 3) --------------------------------
 
 TEST(AdaptiveS, HalvesOnBreakdownAndGrowsAfterThreeCleanBlocks) {

@@ -1,7 +1,9 @@
 // Unit tests for the simulated multi-GPU runtime: clock semantics, the
 // performance model, counters, phase attribution, and the charged kernels.
+#include <array>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <cstddef>
 #include <mutex>
 #include <sstream>
@@ -548,6 +550,75 @@ TEST(HostPool, EnqueueWaitOnSameStreamIsANoOp) {
   pool.enqueue(0, [&] { ++ran; });
   pool.drain_all();
   EXPECT_EQ(ran, 2);
+}
+
+TEST(HostPool, GatesBetweenStreamsOnTheSameWorkerMakeProgress) {
+  // One worker owns both streams, so a gate's consumer stream can reach the
+  // front while its producer is still queued on the same thread. The gate
+  // must park (the worker moves on to the producer stream), never block:
+  // a long chain of cross-stream handoffs completes without deadlock and
+  // every consumer observes its producer's write.
+  HostPool pool(2, 1);
+  const int rounds = 1000;
+  std::vector<int> box(static_cast<std::size_t>(rounds), -1);
+  std::vector<int> out(static_cast<std::size_t>(rounds), -2);
+  for (int i = 0; i < rounds; ++i) {
+    const int s = i & 1;
+    const int o = 1 - s;
+    pool.enqueue(s, [&box, i] { box[static_cast<std::size_t>(i)] = i; });
+    pool.enqueue_wait(o, s, pool.ticket(s));
+    pool.enqueue(o, [&box, &out, i] {
+      out[static_cast<std::size_t>(i)] = box[static_cast<std::size_t>(i)];
+    });
+  }
+  pool.drain_all();
+  for (int i = 0; i < rounds; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(HostPool, RingWrapsPastCapacityWithBackpressure) {
+  // The per-stream ring holds 512 slots; enqueueing four times that many
+  // wraps the producer cursor repeatedly and forces it to block for slot
+  // reuse. FIFO order must survive the wraps.
+  HostPool pool(1, 1);
+  const int n = 2048;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pool.enqueue(0, [&order, i] { order.push_back(i); });
+  }
+  pool.drain(0);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(HostPool, OversizedClosureFallsBackToHeapAndIsDestroyed) {
+  // An inline slot holds kSlotBytes minus two dispatch pointers; a 256-byte
+  // capture cannot fit, so construct_task takes the one-heap-allocation
+  // branch. The payload must arrive intact and the closure must be
+  // destroyed after running (the shared_ptr refcount drops back to one).
+  HostPool pool(1, 1);
+  std::array<unsigned char, 256> payload{};
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<unsigned char>(i);
+  }
+  auto alive = std::make_shared<int>(0);
+  std::atomic<long> sum{-1};
+  pool.enqueue(0, [payload, alive, &sum] {
+    long s = 0;
+    for (const unsigned char b : payload) s += b;
+    sum.store(s);
+  });
+  pool.drain_all();
+  long expect = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    expect += static_cast<long>(static_cast<unsigned char>(i));
+  }
+  EXPECT_EQ(sum.load(), expect);
+  EXPECT_EQ(alive.use_count(), 1);
 }
 
 TEST(Machine, EventCarriesProducerTimestampToWaiterStream) {
