@@ -1,5 +1,6 @@
 #include "core/cagmres.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -8,6 +9,7 @@
 #include "blas/eig.hpp"
 #include "blas/least_squares.hpp"
 #include "common/error.hpp"
+#include "core/cpu_gmres.hpp"
 #include "core/gmres.hpp"
 #include "core/hessenberg.hpp"
 #include "mpk/exec.hpp"
@@ -151,6 +153,11 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   bool fallback_gmres = false;
   blas::DMat last_h;  // freshest Hessenberg, kept for a shift rebuild
   int last_h_k = 0;
+  // kRebuildShifts is deferred: the rung only marks the rebuild, and the
+  // Ritz values are harvested from the Hessenberg of the next *completed*
+  // cycle — the first one run under the escalated settings — instead of
+  // the stale pre-escalation one.
+  bool rebuild_shifts_pending = false;
   double prev_recurrence = -1.0;  // previous cycle's LS residual estimate
   bool prev_claimed = false;      // ... and whether it met the tolerance
 
@@ -161,7 +168,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
       case EscalationStep::kShrinkS:
         return s_current > opts.adaptive_min_s;
       case EscalationStep::kRebuildShifts:
-        return have_shifts && last_h_k > 1;
+        return have_shifts && last_h_k > 1 && !rebuild_shifts_pending;
       case EscalationStep::kSwitchTsqr:
         return ortho::more_robust_method(tsqr_current) != tsqr_current;
       case EscalationStep::kFallbackGmres:
@@ -180,20 +187,9 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         ladder_shrunk_s = true;
         clean_streak = 0;
         break;
-      case EscalationStep::kRebuildShifts: {
-        // Ritz values of the freshest Hessenberg, exactly like the initial
-        // harvest (same host charge).
-        blas::DMat h_sq(last_h_k, last_h_k);
-        for (int j = 0; j < last_h_k; ++j) {
-          for (int i = 0; i < last_h_k; ++i) h_sq(i, j) = last_h(i, j);
-        }
-        step_shifts = newton_shifts(blas::hessenberg_eig(h_sq), s);
-        machine.charge_host(sim::Kernel::kGeqrf,
-                            10.0 * static_cast<double>(last_h_k) * last_h_k *
-                                last_h_k,
-                            0.0);
+      case EscalationStep::kRebuildShifts:
+        rebuild_shifts_pending = true;  // harvested post-escalation, below
         break;
-      }
       case EscalationStep::kSwitchTsqr:
         tsqr_current = ortho::more_robust_method(tsqr_current);
         break;
@@ -221,10 +217,28 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
     if (cause == HealthEventKind::kStagnation ||
         cause == HealthEventKind::kDivergence ||
         cause == HealthEventKind::kFalseConvergence) {
+      machine.sync_nothrow();  // drain in-flight tasks before unwinding
       CAGMRES_REQUIRE_CODE(
           false, ErrorCode::kDeadlineExceeded,
           "escalation ladder exhausted while the solve was not progressing");
     }
+  };
+
+  // Deferred kRebuildShifts harvest: called right after a cycle completed
+  // and refreshed last_h, so the Ritz values come from the escalated
+  // cycle's own Hessenberg (same host charge as the initial harvest).
+  auto harvest_pending_shifts = [&]() {
+    if (!rebuild_shifts_pending || last_h_k <= 1) return;
+    blas::DMat h_sq(last_h_k, last_h_k);
+    for (int j = 0; j < last_h_k; ++j) {
+      for (int i = 0; i < last_h_k; ++i) h_sq(i, j) = last_h(i, j);
+    }
+    step_shifts = newton_shifts(blas::hessenberg_eig(h_sq), s);
+    machine.charge_host(sim::Kernel::kGeqrf,
+                        10.0 * static_cast<double>(last_h_k) * last_h_k *
+                            last_h_k,
+                        0.0);
+    rebuild_shifts_pending = false;
   };
 
   // Restart = checkpoint: the last solution whose residual was proven
@@ -235,6 +249,16 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   bool x_is_zero = true;   // x == 0 exactly (first residual is just b)
   bool needs_rebuild = false;
   int tainted_rollbacks = 0;  // consecutive, reset by a completed restart
+
+  // Nested-recovery budget: consecutive hardware-recovery rounds (a fresh
+  // fault landing before a post-recovery restart completed) charge an
+  // exponentially growing host backoff and are bounded by the machine's
+  // RecoveryBudget; crossing it (or the min_devices floor) degrades to the
+  // host-only solver, or throws when degradation is disabled.
+  int recovery_rounds = 0;
+  double recovery_backoff = machine.recovery_budget().backoff_s;
+  bool degrade_now = false;
+  std::string degrade_reason;
 
   double res = 0.0;
   int restart = 0;
@@ -340,6 +364,8 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         st.iterations += cycle.k;
         ++st.restarts;
         ++restart;
+        recovery_rounds = 0;  // a completed restart refills the budget
+        recovery_backoff = machine.recovery_budget().backoff_s;
         if (cycle.k == 0) {
           prev_recurrence = -1.0;  // no usable estimate from this cycle
           continue;                // poisoned cycle: retry next restart
@@ -350,6 +376,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
           last_h = cycle.h;
           last_h_k = cycle.k;
         }
+        harvest_pending_shifts();
         if (!have_shifts) {
           blas::DMat h_sq(cycle.k, cycle.k);
           for (int j = 0; j < cycle.k; ++j) {
@@ -599,21 +626,93 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
       }
       ++st.restarts;
       ++restart;
+      recovery_rounds = 0;  // a completed restart refills the budget
+      recovery_backoff = machine.recovery_budget().backoff_s;
+      harvest_pending_shifts();
       // The true residual decides at the top of the next restart; the
       // recurrence estimate feeds the false-convergence guard there.
       prev_recurrence = cycle_ls_res;
       prev_claimed = cycle_converged;
     } catch (const Error& e) {
-      // Only injected hardware faults are recoverable, and only while at
-      // least two devices survive; anything else propagates.
+      // Only injected hardware faults are recoverable; anything else
+      // propagates.
       if (!resilient || (e.code() != ErrorCode::kDeviceFault &&
                          e.code() != ErrorCode::kRetriesExhausted) ||
-          e.device() < 0 || machine.n_devices() <= 1) {
+          e.device() < 0) {
         throw;
       }
+      const sim::RecoveryBudget& rb = machine.recovery_budget();
+      const int survivors = machine.n_devices() - 1;
+      if (recovery_rounds >= rb.max_rounds) {
+        // Fault storm: recovery itself keeps getting hit. Stop burning
+        // simulated time on the device path.
+        if (opts.degrade_to_cpu) {
+          degrade_now = true;
+          degrade_reason = "nested recovery budget exhausted (" +
+                           std::to_string(rb.max_rounds) + " rounds)";
+          break;
+        }
+        throw Error("nested recovery budget exhausted after " +
+                        std::to_string(rb.max_rounds) + " rounds (last: " +
+                        std::string(e.what()) + ")",
+                    ErrorCode::kRetriesExhausted, e.device());
+      }
+      if (survivors < std::max(1, opts.min_devices)) {
+        // Device floor: retiring the faulty device would leave fewer
+        // survivors than the solve is configured to run on.
+        if (opts.degrade_to_cpu) {
+          degrade_now = true;
+          degrade_reason = "device floor reached (" +
+                           std::to_string(survivors) + " < " +
+                           std::to_string(std::max(1, opts.min_devices)) +
+                           ")";
+          break;
+        }
+        throw;
+      }
+      // Bounded nested recovery: charge the round's backoff (host-side
+      // cool-down before touching the machine again), then retire and
+      // rebuild as before.
+      ++recovery_rounds;
+      machine.clock().host_advance(recovery_backoff);
+      st.recovery.time_lost += recovery_backoff;
+      recovery_backoff *= rb.backoff_mult;
       machine.retire_device(e.device());
       needs_rebuild = true;  // the rebuild itself runs inside the try
     }
+  }
+
+  // Graceful-degradation floor: finish on the host-only GMRES core from
+  // the last proven-finite checkpoint. Host work charges no device kernels
+  // or transfers, so it makes progress no matter how the devices fault.
+  std::vector<double> x_degraded;
+  if (degrade_now) {
+    st.degraded.active = true;
+    st.degraded.devices_at_handoff = machine.n_devices();
+    st.degraded.at_time = machine.clock().elapsed() - t0;
+    st.degraded.reason = degrade_reason;
+    machine.trace_instant("degrade:cpu_gmres", "other");
+    machine.sync();  // the device path is abandoned; drain its closures
+    x_degraded = resilient && !x_ckpt.empty()
+                     ? x_ckpt
+                     : std::vector<double>(
+                           static_cast<std::size_t>(prob->n()), 0.0);
+    SolverOptions host_opts = opts;
+    host_opts.max_restarts = std::max(1, opts.max_restarts - restart);
+    const double abs_tol =
+        st.initial_residual > 0.0 ? opts.tol * st.initial_residual : -1.0;
+    SolveStats host = detail::host_gmres(machine, *prob, host_opts,
+                                         x_degraded, !x_ckpt_zero, abs_tol);
+    st.converged = host.converged;
+    res = host.final_residual;
+    if (st.initial_residual == 0.0) {
+      st.initial_residual = host.initial_residual;
+    }
+    st.restarts += host.restarts;
+    st.iterations += host.iterations;
+    st.residual_history.insert(st.residual_history.end(),
+                               host.residual_history.begin(),
+                               host.residual_history.end());
   }
   st.final_residual = res;
   st.health_events = hm.take_events();
@@ -641,6 +740,10 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
     st.recovery.time_lost += df.retry_seconds + df.stall_seconds;
   }
 
+  if (st.degraded.active) {
+    result.x = recover_solution(*prob, x_degraded);
+    return result;
+  }
   machine.sync();  // final gather reads xwork on the host
   std::vector<double> x_prepared;
   x_prepared.reserve(static_cast<std::size_t>(prob->n()));

@@ -23,27 +23,29 @@ void host_spmv(sim::Machine& m, const sparse::CsrMatrix& a, const double* x,
 
 }  // namespace
 
-SolveResult cpu_gmres(sim::Machine& machine, const Problem& problem,
-                      const SolverOptions& opts) {
+namespace detail {
+
+SolveStats host_gmres(sim::Machine& machine, const Problem& problem,
+                      const SolverOptions& opts, std::vector<double>& x,
+                      bool x_nonzero, double abs_tol) {
   CAGMRES_REQUIRE(opts.m >= 1, "restart length must be positive");
   const int n = problem.n();
   const int mm = opts.m;
   const sparse::CsrMatrix& a = problem.a;
+  CAGMRES_REQUIRE(static_cast<int>(x.size()) == n, "host_gmres: bad x size");
 
   blas::DMat v(n, mm + 1);
-  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
   std::vector<double> ax(static_cast<std::size_t>(n), 0.0);
   std::vector<double> coeff(static_cast<std::size_t>(mm) + 1, 0.0);
 
-  SolveResult result;
-  SolveStats& st = result.stats;
+  SolveStats st;
   const double t0 = machine.clock().elapsed();
   const sim::PhaseTimers phases0 = machine.phases();
 
   double res = 0.0;
   for (int restart = 0; restart < opts.max_restarts; ++restart) {
     // r = b - A x into v(:,0).
-    if (restart == 0) {
+    if (restart == 0 && !x_nonzero) {
       blas::copy(n, problem.b.data(), v.col(0));
     } else {
       host_spmv(machine, a, x.data(), ax.data());
@@ -60,8 +62,10 @@ SolveResult cpu_gmres(sim::Machine& machine, const Problem& problem,
         break;
       }
     }
+    const double target =
+        abs_tol > 0.0 ? abs_tol : opts.tol * st.initial_residual;
     st.residual_history.push_back(res);
-    if (res <= opts.tol * st.initial_residual) {
+    if (res <= target) {
       st.converged = true;
       break;
     }
@@ -103,7 +107,7 @@ SolveResult cpu_gmres(sim::Machine& machine, const Problem& problem,
       blas::scal(n, 1.0 / nrm, v.col(prev));
       machine.charge_host(sim::Kernel::kScal, 1.0 * n, 16.0 * n);
       const double ls_res = ls.append_column(coeff.data());
-      if (ls_res <= opts.tol * st.initial_residual) break;
+      if (ls_res <= target) break;
     }
     const std::vector<double> y = ls.solve();
     blas::gemv_n(n, k, 1.0, v.col(0), v.ld(), y.data(), 1.0, x.data());
@@ -119,7 +123,16 @@ SolveResult cpu_gmres(sim::Machine& machine, const Problem& problem,
   st.time_spmv = ph.get("spmv") - phases0.get("spmv");
   st.time_orth = ph.get("orth") - phases0.get("orth");
   st.time_other = st.time_total - st.time_spmv - st.time_orth;
+  return st;
+}
 
+}  // namespace detail
+
+SolveResult cpu_gmres(sim::Machine& machine, const Problem& problem,
+                      const SolverOptions& opts) {
+  std::vector<double> x(static_cast<std::size_t>(problem.n()), 0.0);
+  SolveResult result;
+  result.stats = detail::host_gmres(machine, problem, opts, x);
   result.x = recover_solution(problem, x);
   return result;
 }

@@ -15,4 +15,19 @@ namespace cagmres::core {
 SolveResult cpu_gmres(sim::Machine& machine, const Problem& problem,
                       const SolverOptions& opts);
 
+namespace detail {
+
+/// The host-only restarted-GMRES core on the PREPARED system, reusable as
+/// the graceful-degradation floor of the device solvers: continues from the
+/// initial guess in `x` (prepared space, updated in place) when `x_nonzero`
+/// is set, and targets the absolute residual `abs_tol` when positive
+/// (otherwise opts.tol relative to this call's own initial residual).
+/// Charges host time only — no device kernels or transfers — so it makes
+/// progress on a machine whose devices keep faulting.
+SolveStats host_gmres(sim::Machine& machine, const Problem& problem,
+                      const SolverOptions& opts, std::vector<double>& x,
+                      bool x_nonzero = false, double abs_tol = -1.0);
+
+}  // namespace detail
+
 }  // namespace cagmres::core

@@ -1,10 +1,12 @@
 #include "core/gmres.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
 #include "blas/least_squares.hpp"
 #include "common/error.hpp"
+#include "core/cpu_gmres.hpp"
 #include "mpk/plan.hpp"
 #include "ortho/reduce.hpp"
 #include "sim/device_blas.hpp"
@@ -271,6 +273,7 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
     if (cause == HealthEventKind::kStagnation ||
         cause == HealthEventKind::kDivergence ||
         cause == HealthEventKind::kFalseConvergence) {
+      machine.sync_nothrow();  // drain in-flight tasks before unwinding
       CAGMRES_REQUIRE_CODE(
           false, ErrorCode::kDeadlineExceeded,
           "escalation ladder exhausted while the solve was not progressing");
@@ -284,6 +287,14 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   if (resilient) x_ckpt.assign(static_cast<std::size_t>(prob->n()), 0.0);
   bool x_is_zero = true;   // x == 0 exactly (first residual is just b)
   bool needs_rebuild = false;
+
+  // Nested-recovery budget (see ca_gmres: same semantics): bounded
+  // consecutive hardware-recovery rounds with charged backoff; crossing it
+  // or the min_devices floor degrades to the host-only solver.
+  int recovery_rounds = 0;
+  double recovery_backoff = machine.recovery_budget().backoff_s;
+  bool degrade_now = false;
+  std::string degrade_reason;
 
   double res = 0.0;
   int restart = 0;
@@ -381,17 +392,80 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
           cycle.k > 0 && cycle.ls_residual <= opts.tol * st.initial_residual;
       ++st.restarts;
       ++restart;
+      recovery_rounds = 0;  // a completed restart refills the budget
+      recovery_backoff = machine.recovery_budget().backoff_s;
     } catch (const Error& e) {
-      // Only injected hardware faults are recoverable, and only while at
-      // least two devices survive; anything else propagates.
+      // Only injected hardware faults are recoverable; anything else
+      // propagates.
       if (!resilient || (e.code() != ErrorCode::kDeviceFault &&
                          e.code() != ErrorCode::kRetriesExhausted) ||
-          e.device() < 0 || machine.n_devices() <= 1) {
+          e.device() < 0) {
         throw;
       }
+      const sim::RecoveryBudget& rb = machine.recovery_budget();
+      const int survivors = machine.n_devices() - 1;
+      if (recovery_rounds >= rb.max_rounds) {
+        if (opts.degrade_to_cpu) {
+          degrade_now = true;
+          degrade_reason = "nested recovery budget exhausted (" +
+                           std::to_string(rb.max_rounds) + " rounds)";
+          break;
+        }
+        throw Error("nested recovery budget exhausted after " +
+                        std::to_string(rb.max_rounds) + " rounds (last: " +
+                        std::string(e.what()) + ")",
+                    ErrorCode::kRetriesExhausted, e.device());
+      }
+      if (survivors < std::max(1, opts.min_devices)) {
+        if (opts.degrade_to_cpu) {
+          degrade_now = true;
+          degrade_reason = "device floor reached (" +
+                           std::to_string(survivors) + " < " +
+                           std::to_string(std::max(1, opts.min_devices)) +
+                           ")";
+          break;
+        }
+        throw;
+      }
+      ++recovery_rounds;
+      machine.clock().host_advance(recovery_backoff);
+      st.recovery.time_lost += recovery_backoff;
+      recovery_backoff *= rb.backoff_mult;
       machine.retire_device(e.device());
       needs_rebuild = true;  // the rebuild itself runs inside the try
     }
+  }
+
+  // Graceful-degradation floor (see ca_gmres): finish on the host-only
+  // GMRES core from the last proven-finite checkpoint.
+  std::vector<double> x_degraded;
+  if (degrade_now) {
+    st.degraded.active = true;
+    st.degraded.devices_at_handoff = machine.n_devices();
+    st.degraded.at_time = machine.clock().elapsed() - t0;
+    st.degraded.reason = degrade_reason;
+    machine.trace_instant("degrade:cpu_gmres", "other");
+    machine.sync();  // the device path is abandoned; drain its closures
+    x_degraded = resilient && !x_ckpt.empty()
+                     ? x_ckpt
+                     : std::vector<double>(
+                           static_cast<std::size_t>(prob->n()), 0.0);
+    SolverOptions host_opts = opts;
+    host_opts.max_restarts = std::max(1, opts.max_restarts - restart);
+    const double abs_tol =
+        st.initial_residual > 0.0 ? opts.tol * st.initial_residual : -1.0;
+    SolveStats host = detail::host_gmres(machine, *prob, host_opts,
+                                         x_degraded, !x_ckpt_zero, abs_tol);
+    st.converged = host.converged;
+    res = host.final_residual;
+    if (st.initial_residual == 0.0) {
+      st.initial_residual = host.initial_residual;
+    }
+    st.restarts += host.restarts;
+    st.iterations += host.iterations;
+    st.residual_history.insert(st.residual_history.end(),
+                               host.residual_history.begin(),
+                               host.residual_history.end());
   }
   st.final_residual = res;
   st.health_events = hm.take_events();
@@ -415,6 +489,10 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
     st.recovery.time_lost += df.retry_seconds + df.stall_seconds;
   }
 
+  if (st.degraded.active) {
+    result.x = recover_solution(*prob, x_degraded);
+    return result;
+  }
   machine.sync();  // final gather reads xwork on the host
   std::vector<double> x_prepared;
   x_prepared.reserve(static_cast<std::size_t>(prob->n()));

@@ -240,6 +240,9 @@ void SolveHealthMonitor::check_budget(std::int64_t iterations, int restart) {
       std::ostringstream os;
       os << "simulated-time budget exceeded: " << spent << "s > "
          << opts_.max_solve_seconds << "s at restart " << restart;
+      // Drain in-flight host tasks before unwinding the solver frame: they
+      // may reference solver-local buffers that the unwind destroys.
+      m_.sync_nothrow();
       throw Error(os.str(), ErrorCode::kDeadlineExceeded);
     }
   }
@@ -248,6 +251,7 @@ void SolveHealthMonitor::check_budget(std::int64_t iterations, int restart) {
     std::ostringstream os;
     os << "iteration budget exceeded: " << iterations << " > "
        << opts_.max_iterations << " basis vectors at restart " << restart;
+    m_.sync_nothrow();  // drain in-flight tasks before unwinding
     throw Error(os.str(), ErrorCode::kDeadlineExceeded);
   }
 }

@@ -1,0 +1,170 @@
+// Chaos campaign engine: randomized multi-fault schedules against the
+// resilient solvers, with a machine-readable invariant oracle and
+// delta-debugged minimal reproducers.
+//
+// From one campaign seed the runner deterministically generates N fault
+// schedules — mixed kill/NaN/corrupt/stall one-shot events (time- and
+// op-triggered, including cascading multi-device kills clustered tightly
+// enough to land inside a previous kill's checkpoint-restart) plus
+// continuous rates — and runs each over {barrier, event} x configured host
+// worker counts, alternating CA-GMRES and GMRES. Every run must end in one
+// of the sanctioned states:
+//   - converged, with a finite solution whose TRUE residual (checked
+//     against the original, unprepared system) meets the tolerance;
+//   - clean non-convergence (restart budget spent, solution finite);
+//   - a clean typed Error (any code except kBadInput);
+//   - a tripped simulated watchdog (Machine deadline -> kDeadlineExceeded).
+// Additionally a same-seed replay (Machine::reset) must be bit-identical,
+// and a zero-fault schedule must reproduce the unarmed baseline bytes for
+// its configuration. Anything else is an invariant violation, and the
+// violating schedule is auto-minimized (ddmin over events, then rate
+// zeroing) to a minimal reproducer printable as a --faults spec string.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace cagmres::sim {
+
+/// Which solver a run drives (the campaign alternates by schedule index).
+enum class ChaosSolver { kCaGmres, kGmres };
+std::string to_string(ChaosSolver s);
+
+/// Sanctioned terminal states of one run (see file comment).
+enum class ChaosOutcome { kConverged, kUnconverged, kCleanError, kWatchdog };
+std::string to_string(ChaosOutcome o);
+
+/// One generated fault schedule; representable as (and round-trippable
+/// through) the --faults spec grammar of parse_fault_spec.
+struct ChaosSchedule {
+  std::uint64_t seed = 0x5eedULL;  ///< injector RNG seed
+  double stall_us = 250.0;         ///< injected stall latency
+  std::vector<FaultEvent> events;  ///< one-shot events, in schedule order
+  FaultRates rates;                ///< continuous per-op probabilities
+
+  /// True when the schedule would arm an injector (any event or rate).
+  bool armed() const;
+  /// Renders the schedule as a --faults spec string.
+  std::string to_spec() const;
+  /// Applies the schedule to an injector (seed, stall, events, rates).
+  void arm(FaultInjector& fi) const;
+  /// Parses a --faults spec string back into a schedule.
+  static ChaosSchedule from_spec(const std::string& spec);
+};
+
+/// Result of one (schedule, solver, mode, workers) run.
+struct ChaosRunResult {
+  ChaosOutcome outcome = ChaosOutcome::kConverged;
+  std::string error_code;    ///< to_string(code) when outcome==kCleanError
+  std::string violation;     ///< non-empty = the oracle failed (the reason)
+  bool degraded = false;     ///< finished on the cpu_gmres floor
+  int device_failures = 0;   ///< injected permanent kills observed
+  double elapsed = 0.0;      ///< simulated seconds of the run
+  double final_residual = 0.0;
+  std::uint64_t fingerprint = 0;  ///< hash of x bytes + outcome + timing
+};
+
+/// One confirmed invariant violation.
+struct ChaosViolation {
+  int schedule_index = -1;
+  ChaosSolver solver = ChaosSolver::kCaGmres;
+  SyncMode mode = SyncMode::kEvent;
+  int workers = 0;
+  std::string what;  ///< which invariant broke, and how
+  std::string spec;  ///< the offending schedule as a --faults spec
+};
+
+/// Campaign configuration. The defaults match the faults_test scale: a
+/// 24x24 convection-diffusion Laplacian over 4 simulated devices.
+struct ChaosConfig {
+  int n_devices = 4;
+  int nx = 24, ny = 24;        ///< grid of the generated test matrix
+  int m = 30;                  ///< restart length
+  int s = 6;                   ///< CA-GMRES block size
+  double tol = 1e-6;
+  int max_restarts = 400;
+  int min_devices = 1;         ///< degradation floor passed to the solvers
+  bool degrade_to_cpu = true;
+  /// Watchdog: deadline = deadline_factor x the slowest fault-free
+  /// baseline, armed on every faulty run.
+  double deadline_factor = 50.0;
+  std::vector<SyncMode> modes = {SyncMode::kBarrier, SyncMode::kEvent};
+  std::vector<int> worker_counts = {0, 2};
+  bool both_solvers = true;    ///< alternate CA-GMRES / GMRES by index
+  bool check_replay = true;    ///< rerun each config after Machine::reset
+  /// Demo hook for exercising the minimizer on a healthy build: when >= 0,
+  /// any run observing at least this many device kills is flagged as a
+  /// violation (see tools/chaos --demo-bug-kills).
+  int demo_bug_kills = -1;
+};
+
+/// Aggregate campaign outcome.
+struct ChaosCampaignStats {
+  int schedules = 0;
+  int zero_fault = 0;  ///< schedules generated unarmed (baseline checks)
+  int runs = 0;
+  int converged = 0;
+  int unconverged = 0;
+  int clean_errors = 0;
+  int watchdogs = 0;
+  int degraded = 0;
+  std::vector<ChaosViolation> violations;
+};
+
+/// The campaign engine (see file comment). Deterministic end to end: the
+/// campaign seed fixes every schedule, every run, and every fingerprint.
+class ChaosRunner {
+ public:
+  explicit ChaosRunner(const ChaosConfig& cfg = {});
+  ~ChaosRunner();
+  ChaosRunner(const ChaosRunner&) = delete;
+  ChaosRunner& operator=(const ChaosRunner&) = delete;
+
+  const ChaosConfig& config() const;
+
+  /// Deterministically generates schedule `index` of a campaign.
+  ChaosSchedule generate(std::uint64_t campaign_seed, int index);
+
+  /// Runs one schedule over every configured (mode, workers) pair with the
+  /// index-selected solver, checking the full oracle (terminal state,
+  /// replay bit-identity, zero-fault baseline match). Returns violations.
+  std::vector<ChaosViolation> run_schedule(const ChaosSchedule& schedule,
+                                           int index);
+
+  /// Generates and runs `n_schedules` schedules.
+  ChaosCampaignStats run_campaign(
+      std::uint64_t campaign_seed, int n_schedules,
+      const std::function<void(int, const ChaosSchedule&,
+                               const std::vector<ChaosViolation>&)>&
+          progress = nullptr);
+
+  /// One run of one configuration (no replay/baseline cross-checks beyond
+  /// the run's own oracle).
+  ChaosRunResult run_one(const ChaosSchedule& schedule, ChaosSolver solver,
+                         SyncMode mode, int workers);
+
+  /// True when run_schedule-style checks find any violation for `solver`.
+  bool violates(const ChaosSchedule& schedule, ChaosSolver solver);
+
+  /// Delta-debugs a violating schedule down to a minimal one that still
+  /// satisfies `still_violates`: ddmin over the event list, then zeroing
+  /// each continuous rate. Requires still_violates(schedule).
+  ChaosSchedule minimize(
+      const ChaosSchedule& schedule,
+      const std::function<bool(const ChaosSchedule&)>& still_violates);
+
+  /// minimize() against the standard oracle for one solver.
+  ChaosSchedule minimize(const ChaosSchedule& schedule, ChaosSolver solver);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cagmres::sim

@@ -84,7 +84,15 @@ void FaultInjector::record(FaultKind kind, int device, double now,
 
 bool FaultInjector::poll_scheduled(FaultKind kind, int device, double now,
                                    std::int64_t op) {
-  for (FaultEvent& e : events_) {
+  // One poll consumes at most one event: the earliest *scheduled* event of
+  // this kind that matches the polling device and whose trigger has been
+  // reached. In particular, several device=-1 events with identical
+  // triggers fire strictly in schedule order, one per qualifying op — this
+  // is how a spec expresses cascading faults ("kill:*@t=1ms;kill:*@t=1ms"
+  // takes down the next two devices to touch the machine after 1ms), and
+  // the order is pinned by FaultInjectorOrder in faults_test.
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    FaultEvent& e = events_[i];
     if (e.fired || e.kind != kind) continue;
     if (e.device >= 0 && e.device != device) continue;
     const bool due = (e.at_time >= 0.0 && now >= e.at_time) ||

@@ -58,6 +58,19 @@ struct FaultRates {
   double transfer_stall = 0.0;    ///< per transfer
 };
 
+/// Budget for *nested* recovery: how many consecutive recovery rounds (a
+/// device retirement, checkpoint restore, or block replay re-entered by a
+/// fresh fault before the solver completed a clean restart) the resilient
+/// solvers may attempt before giving up with a clean
+/// Error(kRetriesExhausted). Each round charges `backoff_s * mult^round`
+/// of host time, so a fault storm drains the budget in bounded simulated
+/// time instead of livelocking the solver inside recovery.
+struct RecoveryBudget {
+  int max_rounds = 16;
+  double backoff_s = 100e-6;  ///< first inter-round backoff
+  double backoff_mult = 2.0;  ///< exponential growth per round
+};
+
 /// Injection and recovery-cost counters. Injections are counted here by the
 /// injector; the retry/stall costs are filled in by the Machine, which is
 /// the party that charges them to the simulated clock.
@@ -109,6 +122,12 @@ class FaultInjector {
   FaultStats& stats() { return stats_; }
   const FaultStats& stats() const { return stats_; }
   const std::vector<InjectionRecord>& log() const { return log_; }
+
+  /// The configured schedule, readable back (the chaos engine round-trips
+  /// --faults specs through here).
+  const std::vector<FaultEvent>& events() const { return events_; }
+  const FaultRates& rates() const { return rates_; }
+  std::uint64_t seed() const { return seed_; }
 
   /// Clears fired flags, stats, the log, and reseeds the RNG, so the same
   /// schedule replays identically (Machine::reset calls this).

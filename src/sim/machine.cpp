@@ -20,13 +20,14 @@ int default_host_workers(int n_devices) {
   return std::clamp(n, 0, n_devices);
 }
 
-/// Sync mode for new machines: CAGMRES_SYNC_MODE=event opts every solver
-/// into per-buffer events; anything else (or unset) keeps the seed's coarse
-/// barrier structure, so existing charged timings are bit-reproducible.
+/// Sync mode for new machines: per-buffer events are the default (they are
+/// bitwise identical to the barriers and never slower on the charged
+/// clock); CAGMRES_SYNC_MODE=barrier restores the seed's coarse
+/// host_wait_all structure as an escape hatch.
 SyncMode default_sync_mode() {
   const char* s = std::getenv("CAGMRES_SYNC_MODE");
-  if (s != nullptr && std::string(s) == "event") return SyncMode::kEvent;
-  return SyncMode::kBarrier;
+  if (s != nullptr && std::string(s) == "barrier") return SyncMode::kBarrier;
+  return SyncMode::kEvent;
 }
 
 }  // namespace
@@ -158,6 +159,11 @@ void Machine::retry_corrupt_transfer(int logical, int physical, double bytes,
                             "fault:corrupt", phase_);
     }
     if (attempts++ >= retry_.max_retries) {
+      // Drain before unwinding, like the kill/NaN throws: host workers may
+      // still hold tasks referencing stack buffers of the caller that is
+      // about to unwind (use-after-free otherwise — found by the chaos
+      // campaign as heap corruption under a corrupt storm with workers).
+      sync_nothrow();
       throw Error("transfer to/from device " + std::to_string(physical) +
                       " still corrupt after " +
                       std::to_string(retry_.max_retries) + " retries",
@@ -174,6 +180,19 @@ void Machine::retry_corrupt_transfer(int logical, int physical, double bytes,
     faults_.stats().retry_seconds += t;
     backoff *= retry_.backoff_mult;
   }
+}
+
+void Machine::check_deadline() {
+  if (deadline_ <= 0.0 || clock_.elapsed() <= deadline_) return;
+  if (tracing_) {
+    trace_.record_instant(-1, clock_.elapsed(), "watchdog:deadline", phase_);
+  }
+  // Drain before unwinding, like the fault throws: workers may still hold
+  // closures referencing buffers the unwind is about to destroy.
+  sync_nothrow();
+  throw Error("simulated watchdog: elapsed " + std::to_string(clock_.elapsed()) +
+                  "s exceeded deadline " + std::to_string(deadline_) + "s",
+              ErrorCode::kDeadlineExceeded);
 }
 
 void Machine::mark_phase() {
@@ -211,6 +230,7 @@ void Machine::charge_device(int d, Kernel k, double flops, double bytes) {
   counters_.kernel_seconds[ki] += t;
   ++counters_.kernel_count[ki];
   mark_phase();
+  check_deadline();
 }
 
 void Machine::charge_host(Kernel k, double flops, double bytes) {
@@ -221,6 +241,7 @@ void Machine::charge_host(Kernel k, double flops, double bytes) {
   }
   counters_.host_flops += flops;
   mark_phase();
+  check_deadline();
 }
 
 void Machine::d2h(int d, double bytes) {
@@ -250,6 +271,7 @@ void Machine::d2h(int d, double bytes) {
   ++counters_.d2h_msgs;
   if (faults_.armed()) retry_corrupt_transfer(d, p, bytes, op, "retry:d2h");
   mark_phase();
+  check_deadline();
 }
 
 void Machine::h2d(int d, double bytes) {
@@ -273,6 +295,7 @@ void Machine::h2d(int d, double bytes) {
   ++counters_.h2d_msgs;
   if (faults_.armed()) retry_corrupt_transfer(d, p, bytes, op, "retry:h2d");
   mark_phase();
+  check_deadline();
 }
 
 Event Machine::record_event(int d) {

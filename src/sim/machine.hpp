@@ -173,7 +173,7 @@ class Machine {
 
   // --- per-buffer events (the cudaEvent analogue, DESIGN.md §10) -------
   /// Sync structure the solvers should build: coarse barriers (seed
-  /// behaviour) or per-buffer events. Defaults to kBarrier; overridable at
+  /// behaviour) or per-buffer events. Defaults to kEvent; overridable at
   /// construction with CAGMRES_SYNC_MODE=event|barrier.
   SyncMode sync_mode() const { return sync_mode_; }
   void set_sync_mode(SyncMode mode) { sync_mode_ = mode; }
@@ -251,6 +251,24 @@ class Machine {
 
   RetryPolicy& retry_policy() { return retry_; }
 
+  /// Budget for *nested* recovery rounds (faults landing while a previous
+  /// fault is still being recovered from); consulted by the resilient
+  /// solvers, which charge an exponentially growing host backoff per round
+  /// and give up with a clean Error(kRetriesExhausted) when it runs out.
+  RecoveryBudget& recovery_budget() { return recovery_; }
+  const RecoveryBudget& recovery_budget() const { return recovery_; }
+
+  // --- simulated watchdog ----------------------------------------------
+  /// Arms a deadline on the simulated clock: the first charged operation
+  /// that pushes the global elapsed time past `seconds` throws
+  /// Error(kDeadlineExceeded) after draining the host pool, converting any
+  /// runaway or hung schedule into a clean typed failure. 0 disables (the
+  /// default). The deadline is machine configuration: reset() keeps it.
+  /// The check itself charges nothing, so an untripped watchdog leaves
+  /// every result and timing bit-identical to an unarmed machine.
+  void set_deadline(double seconds) { deadline_ = seconds; }
+  double deadline() const { return deadline_; }
+
   /// Consumes the "this device's last kernel was poisoned" latch set by an
   /// injected kKernelNan fault; the charged kernel wrappers call this and
   /// overwrite their output with NaN when it returns true.
@@ -299,6 +317,9 @@ class Machine {
   /// backoff; throws Error(kRetriesExhausted) when the budget runs out.
   void retry_corrupt_transfer(int logical, int physical, double bytes,
                               std::int64_t op, const char* name);
+  /// Watchdog gate: throws Error(kDeadlineExceeded) once the armed deadline
+  /// is crossed on the simulated clock (see set_deadline).
+  void check_deadline();
 
   PerfModel model_;
   Topology topo_;
@@ -308,6 +329,8 @@ class Machine {
   Trace trace_;
   FaultInjector faults_;
   RetryPolicy retry_;
+  RecoveryBudget recovery_;
+  double deadline_ = 0.0;  ///< simulated-seconds watchdog (0 = disarmed)
   std::vector<int> dev_map_;              ///< logical -> physical
   std::vector<std::int64_t> dev_ops_;     ///< per-physical op counter
   std::vector<double> dev_busy_;          ///< per-physical charged seconds

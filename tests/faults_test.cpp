@@ -118,6 +118,48 @@ TEST(FaultInjector, ResetReplaysTheSameSchedule) {
   }
 }
 
+TEST(FaultInjectorOrder, WildcardIdenticalTriggersFireInScheduleOrder) {
+  // Several device=-1 events with identical triggers are the spec idiom for
+  // cascading faults ("kill:*@t=1;kill:*@t=1" takes down the next two
+  // devices to reach t=1). poll_scheduled must fire them strictly in
+  // schedule order, one per qualifying op.
+  FaultInjector inj;
+  FaultEvent kill;
+  kill.kind = FaultKind::kDeviceFail;
+  kill.device = -1;
+  kill.at_time = 1.0;
+  inj.schedule(kill);
+  inj.schedule(kill);
+  // Device 2 polls first: it must consume the FIRST scheduled event.
+  EXPECT_TRUE(inj.poll_device_fail(2, 1.5, 10));
+  EXPECT_TRUE(inj.device_dead(2));
+  // The dead device keeps reporting failure WITHOUT consuming event #2.
+  EXPECT_TRUE(inj.poll_device_fail(2, 1.6, 11));
+  EXPECT_FALSE(inj.device_dead(0));
+  // The next device to poll takes the second event of the cascade.
+  EXPECT_TRUE(inj.poll_device_fail(0, 1.7, 12));
+  EXPECT_TRUE(inj.device_dead(0));
+  // Both events consumed: a third device survives.
+  EXPECT_FALSE(inj.poll_device_fail(1, 2.0, 13));
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_EQ(inj.log()[0].device, 2);  // schedule order, not device order
+  EXPECT_EQ(inj.log()[1].device, 0);
+}
+
+TEST(FaultInjectorOrder, OnePerPollEvenWhenSeveralAreDue) {
+  FaultInjector inj;
+  FaultEvent nan;
+  nan.kind = FaultKind::kKernelNan;
+  nan.device = -1;
+  nan.at_op = 5;
+  inj.schedule(nan);
+  inj.schedule(nan);
+  EXPECT_TRUE(inj.poll_kernel_nan(3, 0.0, 5));   // event #1
+  EXPECT_TRUE(inj.poll_kernel_nan(3, 0.0, 6));   // event #2, next poll
+  EXPECT_FALSE(inj.poll_kernel_nan(3, 0.0, 7));  // schedule exhausted
+  EXPECT_EQ(inj.stats().kernel_nans, 2);
+}
+
 TEST(FaultInjector, RejectsBadProbabilitiesAndTriggers) {
   FaultInjector inj;
   sim::FaultRates rates;
@@ -517,6 +559,61 @@ TEST_P(SyncModeFaults, CorruptRetriesAndConverges) {
   const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
   EXPECT_TRUE(res.stats.converged);
   EXPECT_GT(res.stats.recovery.transfer_retries, 0);
+  EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+TEST_P(SyncModeFaults, KillDuringCheckpointRestartRepartition) {
+  // Cascading kills with an identical trigger: the first fires on whichever
+  // device reaches t=2ms, and the second lands on the very next qualifying
+  // op from a survivor — i.e. inside the first kill's checkpoint-restart
+  // while the repartitioning transfers are still in flight. Nested recovery
+  // must compose: both retirements, both repartitions, still converged.
+  const TestSystem s = make_system(4);
+  Machine machine(4);
+  apply_mode(machine);
+  sim::parse_fault_spec("kill:*@t=2ms;kill:*@t=2ms", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_EQ(machine.n_devices(), 2);
+  EXPECT_EQ(res.stats.recovery.device_failures, 2);
+  // The second kill aborts the first repartition mid-flight; the redo
+  // covers both retirements at once, so at least one completes.
+  EXPECT_GE(res.stats.recovery.repartitions, 1);
+  EXPECT_FALSE(res.stats.degraded.active);
+  EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+TEST_P(SyncModeFaults, CorruptStormExhaustsRetriesIntoCleanError) {
+  // A transfer-corruption storm (70% per attempt, every retry re-rolls)
+  // reliably drains the bounded retry loop. With the degradation floor
+  // disabled the solver must surface ONE clean typed Error — never a hang,
+  // a crash, or a silent wrong answer.
+  const TestSystem s = make_system(3);
+  Machine machine(3);
+  apply_mode(machine);
+  sim::parse_fault_spec("seed=9;corrupt:p=0.7", machine.fault_injector());
+  core::SolverOptions opts = base_opts();
+  opts.degrade_to_cpu = false;
+  try {
+    core::gmres(machine, s.p, opts);
+    FAIL() << "a 70% corruption storm must not complete normally";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kRetriesExhausted) << e.what();
+  }
+}
+
+TEST_P(SyncModeFaults, CorruptStormDegradesToCpuAndConverges) {
+  // Same storm with the floor enabled: the solver hands off to the host
+  // fallback and still produces a correct solution, with the handoff
+  // recorded in SolveStats::degraded.
+  const TestSystem s = make_system(3);
+  Machine machine(3);
+  apply_mode(machine);
+  sim::parse_fault_spec("seed=9;corrupt:p=0.7", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_TRUE(res.stats.degraded.active);
+  EXPECT_FALSE(res.stats.degraded.reason.empty());
   EXPECT_LT(relative_residual(s, res.x), 1e-5);
 }
 

@@ -1,0 +1,133 @@
+// Chaos campaign driver (see src/sim/chaos.hpp and DESIGN.md §11).
+//
+// Default: generate --schedules randomized fault schedules from --seed, run
+// each over {barrier, event} x {0, 2 host workers} with alternating
+// CA-GMRES / GMRES, and check the invariant oracle. Any violation is
+// delta-debugged to a minimal reproducer and printed as a --faults spec.
+// Exit code 1 when violations were found.
+//
+//   ./tools/chaos --schedules=64 --seed=7
+//   ./tools/chaos --faults="seed=42;kill:*@t=5ms;corrupt:p=0.7" --solver=ca
+//   ./tools/chaos --schedules=16 --demo-bug-kills=2   # exercise the minimizer
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "sim/chaos.hpp"
+
+namespace {
+
+using cagmres::sim::ChaosConfig;
+using cagmres::sim::ChaosRunner;
+using cagmres::sim::ChaosSchedule;
+using cagmres::sim::ChaosSolver;
+using cagmres::sim::ChaosViolation;
+using cagmres::sim::SyncMode;
+
+std::vector<SyncMode> parse_modes(const std::string& s) {
+  if (s == "barrier") return {SyncMode::kBarrier};
+  if (s == "event") return {SyncMode::kEvent};
+  CAGMRES_REQUIRE(s == "both", "--modes must be barrier, event, or both");
+  return {SyncMode::kBarrier, SyncMode::kEvent};
+}
+
+const char* mode_name(SyncMode m) {
+  return m == SyncMode::kBarrier ? "barrier" : "event";
+}
+
+void print_violation(const ChaosViolation& v) {
+  std::printf("VIOLATION schedule=%d solver=%s mode=%s workers=%d\n",
+              v.schedule_index, to_string(v.solver).c_str(),
+              mode_name(v.mode), v.workers);
+  std::printf("  what: %s\n  spec: %s\n", v.what.c_str(), v.spec.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cagmres::Options opts(
+      "Chaos campaign: randomized fault schedules vs the invariant oracle");
+  opts.add("schedules", "64", "number of schedules to generate and run");
+  opts.add("seed", "7", "campaign seed (fixes every schedule)");
+  opts.add("devices", "4", "simulated GPU count");
+  opts.add("modes", "both", "sync modes to cover: barrier | event | both");
+  opts.add("workers", "0,2", "host worker counts to cover");
+  opts.add("solver", "both", "ca | gmres | both (alternate by index)");
+  opts.add("min-devices", "1", "degradation floor passed to the solvers");
+  opts.add("degrade", "1", "enable the cpu_gmres degradation floor");
+  opts.add("deadline-factor", "50",
+           "watchdog deadline as a multiple of the fault-free baseline");
+  opts.add("minimize", "1", "delta-debug violations to minimal reproducers");
+  opts.add("faults", "",
+           "run ONE schedule from this spec instead of a campaign");
+  opts.add("demo-bug-kills", "-1",
+           "demo oracle: flag runs with >= this many device kills (-1 off)");
+  opts.add("progress", "0", "print one line per schedule");
+  if (!opts.parse(argc, argv)) return 0;
+
+  ChaosConfig cfg;
+  cfg.n_devices = opts.get_int("devices");
+  cfg.min_devices = opts.get_int("min-devices");
+  cfg.degrade_to_cpu = opts.get_bool("degrade");
+  cfg.deadline_factor = opts.get_double("deadline-factor");
+  cfg.modes = parse_modes(opts.get("modes"));
+  cfg.worker_counts = opts.get_int_list("workers");
+  cfg.demo_bug_kills = opts.get_int("demo-bug-kills");
+  const std::string solver_arg = opts.get("solver");
+  cfg.both_solvers = solver_arg == "both";
+
+  ChaosRunner runner(cfg);
+  std::vector<ChaosViolation> violations;
+
+  const std::string spec = opts.get("faults");
+  if (!spec.empty()) {
+    const ChaosSchedule sched = ChaosSchedule::from_spec(spec);
+    std::printf("schedule: %s\n", sched.to_spec().c_str());
+    violations = runner.run_schedule(sched, solver_arg == "gmres" ? 1 : 0);
+    if (violations.empty()) std::printf("ok: no invariant violations\n");
+  } else {
+    const int n = opts.get_int("schedules");
+    const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+    const bool progress = opts.get_bool("progress");
+    const auto stats = runner.run_campaign(
+        seed, n,
+        [&](int i, const ChaosSchedule& s,
+            const std::vector<ChaosViolation>& v) {
+          if (progress || !v.empty()) {
+            std::printf("[%3d] %-9s %s%s\n", i,
+                        s.armed() ? "faulty" : "zero-fault",
+                        s.to_spec().c_str(), v.empty() ? "" : "  <-- VIOLATES");
+          }
+        });
+    violations = stats.violations;
+    std::printf(
+        "campaign: %d schedules (%d zero-fault), %d runs: "
+        "%d converged, %d unconverged, %d clean errors, %d watchdog trips, "
+        "%d degraded to cpu_gmres\n",
+        stats.schedules, stats.zero_fault, stats.runs, stats.converged,
+        stats.unconverged, stats.clean_errors, stats.watchdogs,
+        stats.degraded);
+  }
+
+  if (violations.empty()) {
+    std::printf("oracle: PASS\n");
+    return 0;
+  }
+  std::printf("oracle: FAIL (%zu violations)\n", violations.size());
+  for (const ChaosViolation& v : violations) print_violation(v);
+
+  if (opts.get_bool("minimize")) {
+    // Minimize the first violation per (solver) — later ones are usually
+    // the same schedule seen through another configuration.
+    const ChaosViolation& v = violations.front();
+    std::printf("minimizing schedule %d for %s...\n", v.schedule_index,
+                to_string(v.solver).c_str());
+    const ChaosSchedule full = ChaosSchedule::from_spec(v.spec);
+    const ChaosSchedule min = runner.minimize(full, v.solver);
+    std::printf("minimal reproducer (%zu events):\n  --faults=\"%s\"\n",
+                min.events.size(), min.to_spec().c_str());
+  }
+  return 1;
+}
