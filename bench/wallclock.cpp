@@ -19,7 +19,20 @@
 //      event mode: the halo exchange's consumers stop blocking on devices
 //      they never read.
 //
-//   3. gram_microbench — the blocked V^T·W Gram kernel and the V·R panel
+//   3. scale_sweep — the CA-GMRES workload fault-free at ng = 3, 8, 16, 64
+//      devices, each on the flat single-node machine and (where the count
+//      tiles) on a multi-node topology (2x4, 4x4, 8x8), recording the
+//      charged seconds and the bytes that crossed the inter-node network
+//      vs the intra-node links — the §VII projection of how the two-level
+//      fabric prices the same algorithm.
+//
+//   4. node_kill_recovery — at each multi-node shape, one whole-node kill
+//      mid-solve, recovered once with hierarchical partner checkpointing
+//      (SolverOptions::partner_checkpoint, the default) and once with the
+//      flat host-checkpoint path. partner_cheaper records whether the
+//      buddy scheme won in charged seconds; it must at ng >= 16.
+//
+//   5. gram_microbench — the blocked V^T·W Gram kernel and the V·R panel
 //      update in blas3.cpp against naive triple loops, single-threaded,
 //      on a panel shape (long m, narrow k) where the long dimension
 //      doesn't fit in cache. This isolates the cache-blocking win from
@@ -220,6 +233,109 @@ int main(int argc, char** argv) {
         tsqr_event);
   }
 
+  // --- scale sweep: ng x topology, fault-free ----------------------------
+  struct ScaleRow {
+    int ng = 0;
+    int nodes = 1;
+    double sim_seconds = 0.0;
+    double net_bytes = 0.0;
+    double peer_bytes = 0.0;
+    int iterations = 0;
+    bool converged = false;
+  };
+  struct KillRow {
+    int ng = 0;
+    int nodes = 1;
+    bool partner = false;
+    double sim_seconds = 0.0;
+    double time_lost = 0.0;
+    int node_failures = 0;
+    int partner_restores = 0;
+    bool converged = false;
+  };
+  std::vector<ScaleRow> scale_rows;
+  std::vector<KillRow> kill_rows;
+  {
+    // ng -> multi-node shape (node count); 3 is the paper testbed and
+    // stays flat-only.
+    std::vector<std::pair<int, int>> shapes = {{3, 1}, {8, 2}};
+    if (!smoke) {
+      shapes.push_back({16, 4});
+      shapes.push_back({64, 8});
+    }
+    std::printf("\n  scale sweep (ca_gmres, fault-free):\n");
+    for (const auto& [sw_ng, sw_nodes] : shapes) {
+      const core::Problem psw =
+          sw_ng == ng ? p
+                      : core::make_problem(a, b, sw_ng,
+                                           graph::parse_ordering(oname),
+                                           true, 7);
+      double flat_hint = 0.0;
+      std::vector<int> node_counts = {1};
+      if (sw_nodes > 1) node_counts.push_back(sw_nodes);
+      for (const int nodes : node_counts) {
+        sim::Machine machine(sw_ng);
+        if (nodes > 1) machine.set_topology(nodes, sw_ng / nodes);
+        core::SolverOptions so = sopts;
+        so.s = smoke ? 5 : opts.get_int("s");
+        const core::SolveResult res = core::ca_gmres(machine, psw, so);
+        ScaleRow row;
+        row.ng = sw_ng;
+        row.nodes = nodes;
+        row.sim_seconds = res.stats.time_total;
+        row.net_bytes = machine.counters().net_bytes;
+        row.peer_bytes = machine.counters().peer_bytes;
+        row.iterations = res.stats.iterations;
+        row.converged = res.stats.converged;
+        scale_rows.push_back(row);
+        if (nodes == 1) flat_hint = res.stats.time_total;
+        std::printf(
+            "    ng=%-3d nodes=%d  sim=%9.4fs  net=%10.3g B  peer=%10.3g B"
+            "  it=%d%s\n",
+            sw_ng, nodes, row.sim_seconds, row.net_bytes, row.peer_bytes,
+            row.iterations, row.converged ? "" : " (nc)");
+        if (nodes == 1) continue;
+
+        // Node-kill recovery at this shape: node 1 dies a quarter of the
+        // way through the fault-free run; compare the partner-checkpoint
+        // restore (default) against the flat host-checkpoint path.
+        for (const bool partner : {true, false}) {
+          sim::Machine mk(sw_ng);
+          mk.set_topology(nodes, sw_ng / nodes);
+          sim::FaultEvent kill;
+          kill.kind = sim::FaultKind::kNodeFail;
+          kill.device = 1;  // node id: a remote node, partner is alive
+          kill.at_time = 0.25 * flat_hint;
+          mk.fault_injector().schedule(kill);
+          core::SolverOptions ko = so;
+          ko.partner_checkpoint = partner;
+          const core::SolveResult res_k = core::ca_gmres(mk, psw, ko);
+          KillRow kr;
+          kr.ng = sw_ng;
+          kr.nodes = nodes;
+          kr.partner = partner;
+          kr.sim_seconds = res_k.stats.time_total;
+          kr.time_lost = res_k.stats.recovery.time_lost;
+          kr.node_failures = res_k.stats.recovery.node_failures;
+          kr.partner_restores = res_k.stats.recovery.partner_restores;
+          kr.converged = res_k.stats.converged;
+          kill_rows.push_back(kr);
+          std::printf(
+              "    ng=%-3d nodes=%d  node-kill %-7s  sim=%9.4fs  "
+              "lost=%8.4fs  partner_restores=%d%s\n",
+              sw_ng, nodes, partner ? "partner" : "host", kr.sim_seconds,
+              kr.time_lost, kr.partner_restores,
+              kr.converged ? "" : " (nc)");
+        }
+        const std::size_t nk = kill_rows.size();
+        const bool cheaper =
+            kill_rows[nk - 2].sim_seconds < kill_rows[nk - 1].sim_seconds;
+        std::printf("    ng=%-3d nodes=%d  partner_cheaper=%s\n", sw_ng,
+                    nodes, cheaper ? "true" : "false");
+      }
+    }
+  }
+
   // --- microbench: blocked vs naive, single thread -----------------------
 #ifdef _OPENMP
   omp_set_num_threads(1);
@@ -305,6 +421,35 @@ int main(int argc, char** argv) {
   out << "    \"converged\": " << json_bool(event_converged)
       << ", \"identical_results\": " << json_bool(event_identical) << "\n";
   out << "  },\n";
+  out << "  \"scale_sweep\": [\n";
+  for (std::size_t i = 0; i < scale_rows.size(); ++i) {
+    const auto& r = scale_rows[i];
+    out << "    {\"ng\": " << r.ng << ", \"nodes\": " << r.nodes
+        << ", \"sim_seconds\": " << r.sim_seconds << ", \"net_bytes\": "
+        << r.net_bytes << ", \"peer_bytes\": " << r.peer_bytes
+        << ", \"iterations\": " << r.iterations << ", \"converged\": "
+        << json_bool(r.converged) << "}"
+        << (i + 1 < scale_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"node_kill_recovery\": [\n";
+  for (std::size_t i = 0; i < kill_rows.size(); i += 2) {
+    const auto& rp = kill_rows[i];      // partner_checkpoint = true
+    const auto& rh = kill_rows[i + 1];  // flat host-checkpoint path
+    out << "    {\"ng\": " << rp.ng << ", \"nodes\": " << rp.nodes
+        << ", \"partner_sim_seconds\": " << rp.sim_seconds
+        << ", \"host_sim_seconds\": " << rh.sim_seconds
+        << ", \"partner_time_lost\": " << rp.time_lost
+        << ", \"host_time_lost\": " << rh.time_lost
+        << ", \"partner_restores\": " << rp.partner_restores
+        << ", \"node_failures\": " << rp.node_failures
+        << ", \"both_converged\": "
+        << json_bool(rp.converged && rh.converged)
+        << ", \"partner_cheaper\": "
+        << json_bool(rp.sim_seconds < rh.sim_seconds) << "}"
+        << (i + 2 < kill_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"gram_microbench\": {\n";
   out << "    \"rows\": " << gram_rows << ", \"cols\": " << gram_cols
       << ",\n";

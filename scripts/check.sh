@@ -7,9 +7,9 @@
 #
 #   --bench-smoke   additionally run the wall-clock bench at tiny sizes and
 #                   fail unless it produces well-formed BENCH_wallclock.json
-#   --chaos-smoke   additionally run the chaos campaign under the tsan
-#                   preset (64 schedules, both sync modes); a fast
-#                   default-build campaign always runs as part of the gate
+#   --chaos-smoke   additionally run the chaos campaigns (single-node and
+#                   --nodes=2 multi-node) under the tsan preset; fast
+#                   default-build campaigns always run as part of the gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,10 +59,18 @@ echo "== chaos gate: 64-schedule campaign, both sync modes, default build =="
 # and keep zero-fault schedules byte-identical to the baseline.
 ./build/tools/chaos --schedules=64 --seed=7 --modes=both
 
+echo
+echo "== chaos gate: 64-schedule multi-node campaign (--nodes=2) =="
+# Node-scoped schedules (atomic node kills, inter-node link rates, node
+# corrupt storms) against the hierarchical partner-checkpoint recovery
+# ladder (DESIGN §12).
+./build/tools/chaos --schedules=64 --seed=7 --modes=both --nodes=2
+
 if [[ "$chaos_smoke" == 1 ]]; then
   echo
-  echo "== chaos smoke: 64-schedule campaign under the tsan preset =="
+  echo "== chaos smoke: campaigns under the tsan preset =="
   ./build-tsan/tools/chaos --schedules=64 --seed=7 --modes=both
+  ./build-tsan/tools/chaos --schedules=32 --seed=7 --modes=both --nodes=2
 fi
 
 if [[ "$bench_smoke" == 1 ]]; then
@@ -76,7 +84,8 @@ if [[ "$bench_smoke" == 1 ]]; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-for key in ("solver_sweep", "event_overlap", "gram_microbench", "nproc"):
+for key in ("solver_sweep", "event_overlap", "scale_sweep",
+            "node_kill_recovery", "gram_microbench", "nproc"):
     if key not in doc:
         sys.exit(f"bench smoke: JSON missing key {key!r}")
 if not doc["solver_sweep"]:

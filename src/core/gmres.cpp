@@ -6,6 +6,7 @@
 
 #include "blas/least_squares.hpp"
 #include "common/error.hpp"
+#include "core/checkpoint.hpp"
 #include "core/cpu_gmres.hpp"
 #include "mpk/plan.hpp"
 #include "ortho/reduce.hpp"
@@ -273,7 +274,7 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
     if (cause == HealthEventKind::kStagnation ||
         cause == HealthEventKind::kDivergence ||
         cause == HealthEventKind::kFalseConvergence) {
-      machine.sync_nothrow();  // drain in-flight tasks before unwinding
+      sim::UnwindDrainGuard unwind_guard(machine);
       CAGMRES_REQUIRE_CODE(
           false, ErrorCode::kDeadlineExceeded,
           "escalation ladder exhausted while the solve was not progressing");
@@ -281,18 +282,19 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   };
 
   // Restart = checkpoint: the last solution whose residual was proven
-  // finite, in prepared row order (valid across repartitions).
-  std::vector<double> x_ckpt;
-  bool x_ckpt_zero = true;
-  if (resilient) x_ckpt.assign(static_cast<std::size_t>(prob->n()), 0.0);
+  // finite, in prepared row order (valid across repartitions). On a
+  // multi-node topology the checkpointer is hierarchical (buddy mirrors,
+  // core/checkpoint.hpp); flat machines get the original host path.
+  Checkpointer ckpt(machine, opts, resilient);
+  if (resilient) ckpt.init_zero(prob->n());
   bool x_is_zero = true;   // x == 0 exactly (first residual is just b)
   bool needs_rebuild = false;
+  std::vector<int> pending_lost_nodes;  // domains the last fault finished off
 
-  // Nested-recovery budget (see ca_gmres: same semantics): bounded
-  // consecutive hardware-recovery rounds with charged backoff; crossing it
-  // or the min_devices floor degrades to the host-only solver.
-  int recovery_rounds = 0;
-  double recovery_backoff = machine.recovery_budget().backoff_s;
+  // Per-node-domain nested-recovery budget (see ca_gmres: same semantics):
+  // bounded consecutive hardware-recovery rounds with charged backoff;
+  // crossing it or the min_devices floor degrades to the host-only solver.
+  RecoveryDomains domains(machine, opts, resilient);
   bool degrade_now = false;
   std::string degrade_reason;
 
@@ -317,8 +319,9 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
         b = sim::DistVec(rows);
         b.assign_from_host(prob->b);
         detail::charge_redistribution(machine, *prob);
-        detail::restore_x(machine, xwork, x_ckpt);
-        x_is_zero = x_ckpt_zero;
+        ckpt.restore_after_repartition(xwork, pending_lost_nodes);
+        pending_lost_nodes.clear();
+        x_is_zero = ckpt.x_zero();
         ++st.recovery.repartitions;
         ++st.recovery.rollbacks;
         st.recovery.time_lost += machine.clock().elapsed() - t_reb;
@@ -337,15 +340,14 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
                                ErrorCode::kRetriesExhausted,
                                "residual stayed non-finite across rollbacks");
           const double t_rb = machine.clock().elapsed();
-          detail::restore_x(machine, xwork, x_ckpt);
-          x_is_zero = x_ckpt_zero;
+          ckpt.rollback(xwork);
+          x_is_zero = ckpt.x_zero();
           ++st.recovery.rollbacks;
           res = detail::compute_residual(machine, *spmv, b, xwork, v, 0,
                                          x_is_zero);
           st.recovery.time_lost += machine.clock().elapsed() - t_rb;
         }
-        x_ckpt = detail::checkpoint_x(machine, xwork);
-        x_ckpt_zero = x_is_zero;
+        ckpt.save(xwork, x_is_zero);
       }
       if (restart == 0) {
         st.initial_residual = res;
@@ -392,46 +394,18 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
           cycle.k > 0 && cycle.ls_residual <= opts.tol * st.initial_residual;
       ++st.restarts;
       ++restart;
-      recovery_rounds = 0;  // a completed restart refills the budget
-      recovery_backoff = machine.recovery_budget().backoff_s;
+      domains.on_restart_completed();  // a completed restart refills budgets
     } catch (const Error& e) {
-      // Only injected hardware faults are recoverable; anything else
-      // propagates.
-      if (!resilient || (e.code() != ErrorCode::kDeviceFault &&
-                         e.code() != ErrorCode::kRetriesExhausted) ||
-          e.device() < 0) {
-        throw;
+      // The domain handler classifies the fault (single device vs whole
+      // node), applies the victim domain's budget and the device floor,
+      // charges the backoff, and retires every dead device — or rethrows
+      // for unrecoverable errors.
+      if (domains.handle(e, st.recovery)) {
+        degrade_now = true;
+        degrade_reason = domains.degrade_reason();
+        break;
       }
-      const sim::RecoveryBudget& rb = machine.recovery_budget();
-      const int survivors = machine.n_devices() - 1;
-      if (recovery_rounds >= rb.max_rounds) {
-        if (opts.degrade_to_cpu) {
-          degrade_now = true;
-          degrade_reason = "nested recovery budget exhausted (" +
-                           std::to_string(rb.max_rounds) + " rounds)";
-          break;
-        }
-        throw Error("nested recovery budget exhausted after " +
-                        std::to_string(rb.max_rounds) + " rounds (last: " +
-                        std::string(e.what()) + ")",
-                    ErrorCode::kRetriesExhausted, e.device());
-      }
-      if (survivors < std::max(1, opts.min_devices)) {
-        if (opts.degrade_to_cpu) {
-          degrade_now = true;
-          degrade_reason = "device floor reached (" +
-                           std::to_string(survivors) + " < " +
-                           std::to_string(std::max(1, opts.min_devices)) +
-                           ")";
-          break;
-        }
-        throw;
-      }
-      ++recovery_rounds;
-      machine.clock().host_advance(recovery_backoff);
-      st.recovery.time_lost += recovery_backoff;
-      recovery_backoff *= rb.backoff_mult;
-      machine.retire_device(e.device());
+      pending_lost_nodes = domains.lost_nodes();
       needs_rebuild = true;  // the rebuild itself runs inside the try
     }
   }
@@ -446,8 +420,8 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
     st.degraded.reason = degrade_reason;
     machine.trace_instant("degrade:cpu_gmres", "other");
     machine.sync();  // the device path is abandoned; drain its closures
-    x_degraded = resilient && !x_ckpt.empty()
-                     ? x_ckpt
+    x_degraded = resilient && !ckpt.x().empty()
+                     ? ckpt.x()
                      : std::vector<double>(
                            static_cast<std::size_t>(prob->n()), 0.0);
     SolverOptions host_opts = opts;
@@ -455,7 +429,7 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
     const double abs_tol =
         st.initial_residual > 0.0 ? opts.tol * st.initial_residual : -1.0;
     SolveStats host = detail::host_gmres(machine, *prob, host_opts,
-                                         x_degraded, !x_ckpt_zero, abs_tol);
+                                         x_degraded, !ckpt.x_zero(), abs_tol);
     st.converged = host.converged;
     res = host.final_residual;
     if (st.initial_residual == 0.0) {
@@ -482,11 +456,14 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
     const sim::FaultStats df = machine.fault_injector().stats() - faults0;
     st.recovery.faults_injected = df.injected_total;
     st.recovery.device_failures = df.device_failures;
+    st.recovery.node_failures = df.node_failures;
     st.recovery.kernel_faults = df.kernel_nans;
-    st.recovery.transfer_corruptions = df.transfer_corruptions;
-    st.recovery.transfer_stalls = df.transfer_stalls;
+    st.recovery.transfer_corruptions =
+        df.transfer_corruptions + df.link_corruptions;
+    st.recovery.transfer_stalls = df.transfer_stalls + df.link_stalls;
     st.recovery.transfer_retries = df.transfer_retries;
     st.recovery.time_lost += df.retry_seconds + df.stall_seconds;
+    st.recovery.partner_restores = ckpt.partner_restores();
   }
 
   if (st.degraded.active) {

@@ -233,6 +233,9 @@ HealthEventKind SolveHealthMonitor::check_progress(double res, int restart,
 }
 
 void SolveHealthMonitor::check_budget(std::int64_t iterations, int restart) {
+  // On either budget throw, drain before unwinding the solver frame: host
+  // workers may still reference solver-local buffers the unwind destroys.
+  sim::UnwindDrainGuard unwind_guard(m_);
   if (opts_.max_solve_seconds > 0.0) {
     const double spent = m_.clock().elapsed() - t_start_;
     if (spent > opts_.max_solve_seconds) {
@@ -240,9 +243,6 @@ void SolveHealthMonitor::check_budget(std::int64_t iterations, int restart) {
       std::ostringstream os;
       os << "simulated-time budget exceeded: " << spent << "s > "
          << opts_.max_solve_seconds << "s at restart " << restart;
-      // Drain in-flight host tasks before unwinding the solver frame: they
-      // may reference solver-local buffers that the unwind destroys.
-      m_.sync_nothrow();
       throw Error(os.str(), ErrorCode::kDeadlineExceeded);
     }
   }
@@ -251,7 +251,6 @@ void SolveHealthMonitor::check_budget(std::int64_t iterations, int restart) {
     std::ostringstream os;
     os << "iteration budget exceeded: " << iterations << " > "
        << opts_.max_iterations << " basis vectors at restart " << restart;
-    m_.sync_nothrow();  // drain in-flight tasks before unwinding
     throw Error(os.str(), ErrorCode::kDeadlineExceeded);
   }
 }

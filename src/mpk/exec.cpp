@@ -18,6 +18,40 @@ void poison(double* p, int n) {
   for (int i = 0; i < n; ++i) p[i] = nan;
 }
 
+/// Multi-node routing for the halo exchange (active only when the machine
+/// topology has more than one node; flat machines skip all of this and the
+/// exchange is bitwise-identical to the single-node original).
+///
+/// Sender side: a pack message whose consumers all live on the sender's own
+/// node is combined node-locally and never crosses the network (d2h_node,
+/// intra-node rate); one with any off-node reader goes through the
+/// coordinating host as before (d2h, which prices the network hop for
+/// remote senders). `cross_send[d]` marks the latter.
+std::vector<char> cross_senders(const sim::Machine& m,
+                                const std::vector<std::vector<int>>& owners) {
+  const int ng = static_cast<int>(owners.size());
+  std::vector<char> cross(static_cast<std::size_t>(ng), 0);
+  for (int e = 0; e < ng; ++e) {
+    for (const int o : owners[static_cast<std::size_t>(e)]) {
+      if (m.node_of(o) != m.node_of(e)) cross[static_cast<std::size_t>(o)] = 1;
+    }
+  }
+  return cross;
+}
+
+/// Consumer side of the same split: bytes of device d's external slice
+/// owned by devices on d's own node — those arrive over the intra-node
+/// link; the rest keeps the host (+network) route.
+double node_local_ext_bytes(const sim::Machine& m, int d,
+                            const std::vector<int>& ext_owner) {
+  const int myn = m.node_of(d);
+  double bytes = 0.0;
+  for (const int o : ext_owner) {
+    if (m.node_of(o) == myn) bytes += 8.0;
+  }
+  return bytes;
+}
+
 }  // namespace
 
 MpkExecutor::MpkExecutor(const MpkPlan& plan) : plan_(&plan) {
@@ -50,16 +84,26 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
   }
   const MpkPlan& plan = *plan_;
   const int ng = plan.n_devices();
+  const bool hier = m.topology().n_nodes > 1;
+  std::vector<char> cross;
+  if (hier) cross = cross_senders(m, ext_owners_);
 
   // Gather: each device packs the owned entries other devices need and
-  // ships one message to the CPU (Fig. 4 "Setup", first loop).
+  // ships one message to the CPU (Fig. 4 "Setup", first loop). On a
+  // multi-node topology, messages with only same-node readers stay on the
+  // intra-node link.
   double gathered = 0.0;
   for (int d = 0; d < ng; ++d) {
     const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
     if (dp.send_local_rows.empty()) continue;
     sim::dev_pack(m, d, dp.send_local_rows, v.col(d, c0),
                   pack_buf_[static_cast<std::size_t>(d)].data());
-    m.d2h(d, 8.0 * static_cast<double>(dp.send_local_rows.size()));
+    const double bytes = 8.0 * static_cast<double>(dp.send_local_rows.size());
+    if (hier && cross[static_cast<std::size_t>(d)] == 0) {
+      m.d2h_node(d, bytes);
+    } else {
+      m.d2h(d, bytes);
+    }
     gathered += static_cast<double>(dp.send_local_rows.size());
   }
   m.host_wait_all();
@@ -75,7 +119,15 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
     std::vector<double>& zd =
         z_[static_cast<std::size_t>(d)][static_cast<std::size_t>(slot)];
     const int next = static_cast<int>(dp.ext_global.size());
-    if (next > 0) m.h2d(d, 8.0 * next);
+    if (next > 0) {
+      if (hier) {
+        const double local = node_local_ext_bytes(m, d, dp.ext_owner);
+        if (local > 0.0) m.h2d_node(d, local);
+        if (8.0 * next > local) m.h2d(d, 8.0 * next - local);
+      } else {
+        m.h2d(d, 8.0 * next);
+      }
+    }
     sim::dev_copy(m, d, dp.owned, v.col(d, c0), zd.data());
     if (next > 0) {
       // Expand the received buffer into z's external slots. Values are read
@@ -107,15 +159,25 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
   // measured charged-time win in BENCH_wallclock.json's event_overlap.
   const MpkPlan& plan = *plan_;
   const int ng = plan.n_devices();
+  const bool hier = m.topology().n_nodes > 1;
+  std::vector<char> cross;
+  if (hier) cross = cross_senders(m, ext_owners_);
 
-  // Gather, recording one event per sender after its pack + d2h.
+  // Gather, recording one event per sender after its pack + d2h. Same
+  // multi-node routing as the barrier path: node-internal pack messages
+  // take the intra-node link.
   std::vector<sim::Event> packed(static_cast<std::size_t>(ng));
   for (int d = 0; d < ng; ++d) {
     const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
     if (dp.send_local_rows.empty()) continue;
     sim::dev_pack(m, d, dp.send_local_rows, v.col(d, c0),
                   pack_buf_[static_cast<std::size_t>(d)].data());
-    m.d2h(d, 8.0 * static_cast<double>(dp.send_local_rows.size()));
+    const double bytes = 8.0 * static_cast<double>(dp.send_local_rows.size());
+    if (hier && cross[static_cast<std::size_t>(d)] == 0) {
+      m.d2h_node(d, bytes);
+    } else {
+      m.d2h(d, bytes);
+    }
     packed[static_cast<std::size_t>(d)] = m.record_event(d);
   }
 
@@ -151,7 +213,13 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
       m.host_wait_event(packed[static_cast<std::size_t>(o)]);
     }
     m.charge_host(sim::Kernel::kCopy, 0.0, 16.0 * next);
-    m.h2d(d, 8.0 * next);
+    if (hier) {
+      const double local = node_local_ext_bytes(m, d, dp.ext_owner);
+      if (local > 0.0) m.h2d_node(d, local);
+      if (8.0 * next > local) m.h2d(d, 8.0 * next - local);
+    } else {
+      m.h2d(d, 8.0 * next);
+    }
     // Wall-clock guard for the closure below: it reads the owners' basis
     // blocks, which their pack closures read too, but a late kernel on an
     // owner stream could already be overwriting by then in a future layout;
@@ -184,6 +252,10 @@ void MpkExecutor::apply(sim::Machine& m, sim::DistMultiVec& v, int c0,
   CAGMRES_REQUIRE(c0 >= 0 && c0 + steps < v.cols(), "column range overflow");
   CAGMRES_REQUIRE(v.n_parts() == plan.n_devices(), "layout mismatch");
   sim::PhaseScope phase(m, "mpk");
+  // The complex-pair check below can throw mid-loop with device closures
+  // still parked on the streams (reading z_ and v); drain on unwind so the
+  // caller's fault handler never races a stale SpMV during rollback.
+  sim::UnwindDrainGuard unwind_guard(m);
   const int ng = plan.n_devices();
 
   for (int d = 0; d < ng; ++d) {

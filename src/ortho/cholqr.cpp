@@ -23,6 +23,9 @@ TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
   const int ng = m.n_devices();
   const int k = c1 - c0;
   TsqrResult res;
+  // On any breakdown throw below, drain before unwinding: host workers may
+  // still run overlapped tasks referencing the caller's cycle-local buffers.
+  sim::UnwindDrainGuard unwind_guard(m);
 
   // Local Gram matrices (batched DGEMM class under the Optimized profile;
   // SGEMM-rate single-precision accumulation for the mixed variant).
@@ -48,9 +51,6 @@ TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
   for (int j = 0; j < k; ++j) {
     for (int i = 0; i <= j; ++i) {
       if (!std::isfinite(b(i, j))) {
-        // Drain before unwinding: host workers may still run overlapped
-        // tasks referencing the caller's cycle-local buffers.
-        m.sync_nothrow();
         throw Error("CholQR: Gram matrix has non-finite entries",
                     ErrorCode::kBreakdown);
       }
@@ -66,7 +66,6 @@ TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
     res.breakdown = true;
     res.breakdown_col = fail;  // lapack's first non-positive pivot column
     if (!opts.cholqr_shift_on_breakdown) {
-      m.sync_nothrow();  // drain in-flight tasks before unwinding
       throw Error("CholQR breakdown at pivot column " + std::to_string(fail) +
                       " of " + std::to_string(k) +
                       " (Gram matrix numerically indefinite)",
@@ -81,7 +80,6 @@ TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
       shift *= 100.0;
     }
     if (fail >= 0) {
-      m.sync_nothrow();  // drain in-flight tasks before unwinding
       throw Error("CholQR: shifted Cholesky still failing at pivot column " +
                       std::to_string(fail),
                   ErrorCode::kBreakdown);

@@ -60,7 +60,9 @@ std::string to_string(ChaosOutcome o) {
 
 bool ChaosSchedule::armed() const {
   return !events.empty() || rates.kernel_nan > 0.0 ||
-         rates.transfer_corrupt > 0.0 || rates.transfer_stall > 0.0;
+         rates.transfer_corrupt > 0.0 || rates.transfer_stall > 0.0 ||
+         rates.link_corrupt > 0.0 || rates.link_stall > 0.0 ||
+         (rates.node_corrupt > 0.0 && rates.corrupt_node >= 0);
 }
 
 std::string ChaosSchedule::to_spec() const {
@@ -68,7 +70,9 @@ std::string ChaosSchedule::to_spec() const {
   out += ";stall_us=" + fmt_double(stall_us);
   for (const FaultEvent& e : events) {
     out += ";" + to_string(e.kind) + ":";
-    out += e.device < 0 ? "*" : "d" + std::to_string(e.device);
+    // A node kill's device field names a NODE, rendered n<k>.
+    const char prefix = e.kind == FaultKind::kNodeFail ? 'n' : 'd';
+    out += e.device < 0 ? "*" : prefix + std::to_string(e.device);
     if (e.at_time >= 0.0) {
       out += "@t=" + fmt_double(e.at_time);  // bare number = seconds
     } else {
@@ -81,6 +85,16 @@ std::string ChaosSchedule::to_spec() const {
   }
   if (rates.transfer_stall > 0.0) {
     out += ";stall:p=" + fmt_double(rates.transfer_stall);
+  }
+  if (rates.link_corrupt > 0.0) {
+    out += ";linkcorrupt:p=" + fmt_double(rates.link_corrupt);
+  }
+  if (rates.link_stall > 0.0) {
+    out += ";linkstall:p=" + fmt_double(rates.link_stall);
+  }
+  if (rates.node_corrupt > 0.0 && rates.corrupt_node >= 0) {
+    out += ";nodecorrupt:n" + std::to_string(rates.corrupt_node) +
+           "@p=" + fmt_double(rates.node_corrupt);
   }
   return out;
 }
@@ -132,11 +146,22 @@ struct ChaosRunner::Impl {
   double deadline = 0.0;   ///< watchdog armed on every faulty run
 
   explicit Impl(const ChaosConfig& c) : cfg(c) {
-    a = sparse::make_laplace2d(cfg.nx, cfg.ny, 0.1, 0.02);
+    a = cfg.matrix.empty()
+            ? sparse::make_laplace2d(cfg.nx, cfg.ny, 0.1, 0.02)
+            : sparse::make_paper_matrix(cfg.matrix, cfg.matrix_scale);
     b.assign(static_cast<std::size_t>(a.n_rows), 1.0);
     b_norm = blas::nrm2(a.n_rows, b.data());
     prob = core::make_problem(a, b, cfg.n_devices, graph::Ordering::kNatural,
                               true, 1);
+  }
+
+  /// Applies the configured multi-node topology to a fresh machine (no-op
+  /// for the flat default, so single-node campaigns are byte-identical to
+  /// the pre-topology engine).
+  void shape(Machine& m) const {
+    if (cfg.n_nodes > 1) {
+      m.set_topology(cfg.n_nodes, cfg.n_devices / cfg.n_nodes);
+    }
   }
 
   core::SolverOptions solver_opts() const {
@@ -247,6 +272,7 @@ struct ChaosRunner::Impl {
       for (const SyncMode mode : cfg.modes) {
         for (const int w : cfg.worker_counts) {
           Machine m(cfg.n_devices);
+          shape(m);
           configure(m, mode, w);
           none.arm(m.fault_injector());
           const ChaosRunResult r = run_with(m, solver);
@@ -274,6 +300,7 @@ struct ChaosRunner::Impl {
     for (const SyncMode mode : cfg.modes) {
       for (const int w : cfg.worker_counts) {
         Machine m(cfg.n_devices);
+        shape(m);
         configure(m, mode, w);
         sched.arm(m.fault_injector());
         if (sched.armed()) m.set_deadline(deadline);
@@ -323,6 +350,8 @@ ChaosRunner::ChaosRunner(const ChaosConfig& cfg)
   CAGMRES_REQUIRE(cfg.n_devices >= 1 && !cfg.modes.empty() &&
                       !cfg.worker_counts.empty(),
                   "chaos: empty configuration");
+  CAGMRES_REQUIRE(cfg.n_nodes >= 1 && cfg.n_devices % cfg.n_nodes == 0,
+                  "chaos: n_nodes must divide n_devices");
 }
 
 ChaosRunner::~ChaosRunner() = default;
@@ -363,22 +392,36 @@ ChaosSchedule ChaosRunner::generate(std::uint64_t campaign_seed, int index) {
     s.events.push_back(e);
   };
 
+  const int nn = impl_->cfg.n_nodes;
+  auto rand_node = [&]() {
+    return g.uniform() < 0.3
+               ? -1
+               : static_cast<int>(g.bounded(static_cast<std::uint64_t>(nn)));
+  };
+
   // Permanent kills: none (50%), one (30%), or a cascading cluster (20%)
   // whose members land close enough together that the later kills hit the
-  // checkpoint-restart of the earlier ones.
+  // checkpoint-restart of the earlier ones. On a multi-node topology a
+  // third of the kill schedules are atomic whole-node kills instead —
+  // including clusters where a second node dies mid-recovery of the first
+  // (the partner-checkpoint double-loss path).
   const double kill_roll = g.uniform();
   if (kill_roll >= 0.5) {
     const int kills = kill_roll < 0.8 ? 1 : 2 + static_cast<int>(g.bounded(2));
+    const bool node_kill = nn > 1 && g.uniform() < 1.0 / 3.0;
+    const FaultKind kkind =
+        node_kill ? FaultKind::kNodeFail : FaultKind::kDeviceFail;
+    auto target = [&]() { return node_kill ? rand_node() : rand_device(); };
     if (g.uniform() < 0.4) {  // op-triggered
       std::int64_t op = rand_op();
       for (int i = 0; i < kills; ++i) {
-        push_event(FaultKind::kDeviceFail, rand_device(), -1.0, op);
+        push_event(kkind, target(), -1.0, op);
         op += 1 + static_cast<std::int64_t>(g.bounded(200));
       }
     } else {  // time-triggered cluster
       double t = g.uniform(0.02, 1.0) * hint;
       for (int i = 0; i < kills; ++i) {
-        push_event(FaultKind::kDeviceFail, rand_device(), t, -1);
+        push_event(kkind, target(), t, -1);
         t += g.uniform(0.0, 0.15) * hint;
       }
     }
@@ -408,6 +451,18 @@ ChaosSchedule ChaosRunner::generate(std::uint64_t campaign_seed, int index) {
                                                     : g.uniform(0.0, 0.03);
     }
     if (g.uniform() < 0.5) s.rates.transfer_stall = g.uniform(0.0, 0.05);
+  }
+
+  // Node- and link-scoped rates (multi-node topologies only): degradation
+  // of the inter-node links, and corrupt storms pinned to one node.
+  if (nn > 1 && g.uniform() < 0.4) {
+    if (g.uniform() < 0.5) s.rates.link_corrupt = g.uniform(0.0, 0.05);
+    if (g.uniform() < 0.5) s.rates.link_stall = g.uniform(0.0, 0.08);
+    if (g.uniform() < 0.4) {
+      s.rates.corrupt_node =
+          static_cast<int>(g.bounded(static_cast<std::uint64_t>(nn)));
+      s.rates.node_corrupt = g.uniform(0.0, 0.05);
+    }
   }
 
   if (!s.armed()) {
@@ -444,6 +499,7 @@ ChaosRunResult ChaosRunner::run_one(const ChaosSchedule& schedule,
                                     int workers) {
   impl_->ensure_baselines();
   Machine m(impl_->cfg.n_devices);
+  impl_->shape(m);
   impl_->configure(m, mode, workers);
   schedule.arm(m.fault_injector());
   if (schedule.armed()) m.set_deadline(impl_->deadline);
@@ -512,6 +568,9 @@ ChaosSchedule ChaosRunner::minimize(
   try_zero(&FaultRates::kernel_nan);
   try_zero(&FaultRates::transfer_corrupt);
   try_zero(&FaultRates::transfer_stall);
+  try_zero(&FaultRates::link_corrupt);
+  try_zero(&FaultRates::link_stall);
+  try_zero(&FaultRates::node_corrupt);
   return cur;
 }
 

@@ -84,7 +84,18 @@ struct ChaosViolation {
 /// 24x24 convection-diffusion Laplacian over 4 simulated devices.
 struct ChaosConfig {
   int n_devices = 4;
+  /// Multi-node topology: n_nodes fault domains of n_devices/n_nodes
+  /// devices each (must divide n_devices). When > 1, every machine the
+  /// campaign builds gets Machine::set_topology and the generator mixes in
+  /// node-scoped faults: atomic whole-node kills, inter-node link
+  /// corruption/stall rates, and node-targeted corrupt storms.
+  int n_nodes = 1;
   int nx = 24, ny = 24;        ///< grid of the generated test matrix
+  /// Non-empty: use a paper-matrix analog from make_paper_matrix ("cant",
+  /// "g3_circuit", "dielfilter", "nlpkkt") at `matrix_scale` instead of the
+  /// nx x ny convection-diffusion Laplacian.
+  std::string matrix;
+  double matrix_scale = 1.0;
   int m = 30;                  ///< restart length
   int s = 6;                   ///< CA-GMRES block size
   double tol = 1e-6;

@@ -17,6 +17,12 @@ std::string to_string(FaultKind kind) {
       return "corrupt";
     case FaultKind::kTransferStall:
       return "stall";
+    case FaultKind::kNodeFail:
+      return "nodekill";
+    case FaultKind::kLinkCorrupt:
+      return "linkcorrupt";
+    case FaultKind::kLinkStall:
+      return "linkstall";
   }
   return "?";
 }
@@ -25,9 +31,12 @@ FaultStats FaultStats::operator-(const FaultStats& rhs) const {
   FaultStats out;
   out.injected_total = injected_total - rhs.injected_total;
   out.device_failures = device_failures - rhs.device_failures;
+  out.node_failures = node_failures - rhs.node_failures;
   out.kernel_nans = kernel_nans - rhs.kernel_nans;
   out.transfer_corruptions = transfer_corruptions - rhs.transfer_corruptions;
   out.transfer_stalls = transfer_stalls - rhs.transfer_stalls;
+  out.link_corruptions = link_corruptions - rhs.link_corruptions;
+  out.link_stalls = link_stalls - rhs.link_stalls;
   out.transfer_retries = transfer_retries - rhs.transfer_retries;
   out.retry_seconds = retry_seconds - rhs.retry_seconds;
   out.stall_seconds = stall_seconds - rhs.stall_seconds;
@@ -46,11 +55,16 @@ void FaultInjector::set_rates(const FaultRates& rates) {
                       rates.transfer_corrupt >= 0.0 &&
                       rates.transfer_corrupt <= 1.0 &&
                       rates.transfer_stall >= 0.0 &&
-                      rates.transfer_stall <= 1.0,
+                      rates.transfer_stall <= 1.0 &&
+                      rates.link_corrupt >= 0.0 && rates.link_corrupt <= 1.0 &&
+                      rates.link_stall >= 0.0 && rates.link_stall <= 1.0 &&
+                      rates.node_corrupt >= 0.0 && rates.node_corrupt <= 1.0,
                   "fault rates must be probabilities");
   rates_ = rates;
   armed_ = !events_.empty() || rates_.kernel_nan > 0.0 ||
-           rates_.transfer_corrupt > 0.0 || rates_.transfer_stall > 0.0;
+           rates_.transfer_corrupt > 0.0 || rates_.transfer_stall > 0.0 ||
+           rates_.link_corrupt > 0.0 || rates_.link_stall > 0.0 ||
+           (rates_.node_corrupt > 0.0 && rates_.corrupt_node >= 0);
 }
 
 void FaultInjector::set_seed(std::uint64_t seed) {
@@ -77,6 +91,15 @@ void FaultInjector::record(FaultKind kind, int device, double now,
       break;
     case FaultKind::kTransferStall:
       ++stats_.transfer_stalls;
+      break;
+    case FaultKind::kNodeFail:
+      ++stats_.node_failures;
+      break;
+    case FaultKind::kLinkCorrupt:
+      ++stats_.link_corruptions;
+      break;
+    case FaultKind::kLinkStall:
+      ++stats_.link_stalls;
       break;
   }
   log_.push_back({kind, device, now, op});
@@ -112,10 +135,28 @@ bool FaultInjector::roll(double prob) {
 bool FaultInjector::poll_device_fail(int device, double now,
                                      std::int64_t op) {
   if (device_dead(device)) return true;  // dead stays dead
-  if (!poll_scheduled(FaultKind::kDeviceFail, device, now, op)) return false;
-  dead_.push_back(device);
-  record(FaultKind::kDeviceFail, device, now, op);
-  return true;
+  if (poll_scheduled(FaultKind::kDeviceFail, device, now, op)) {
+    dead_.push_back(device);
+    record(FaultKind::kDeviceFail, device, now, op);
+    return true;
+  }
+  // Correlated node loss: a kNodeFail event matches on the polling device's
+  // *node* id and takes down every device in that node atomically, so the
+  // solver's fault handler sees one kDeviceFault throw but finds the whole
+  // domain dead when it surveys the machine. Schedule-order semantics are
+  // identical to device kills (FaultInjectorOrder pins both).
+  if (poll_scheduled(FaultKind::kNodeFail, node_of(device), now, op)) {
+    const int first = node_of(device) * gpus_per_node_;
+    for (int k = first; k < first + gpus_per_node_; ++k) {
+      if (!device_dead(k)) {
+        dead_.push_back(k);
+        ++stats_.device_failures;
+      }
+    }
+    record(FaultKind::kNodeFail, device, now, op);
+    return true;
+  }
+  return false;
 }
 
 bool FaultInjector::poll_kernel_nan(int device, double now, std::int64_t op) {
@@ -129,8 +170,13 @@ bool FaultInjector::poll_kernel_nan(int device, double now, std::int64_t op) {
 
 bool FaultInjector::poll_transfer_corrupt(int device, double now,
                                           std::int64_t op) {
+  // The node-scoped storm term only rolls for devices on the target node,
+  // so arming it cannot perturb the RNG stream other devices observe.
+  const bool storm = rates_.corrupt_node >= 0 &&
+                     node_of(device) == rates_.corrupt_node &&
+                     roll(rates_.node_corrupt);
   if (poll_scheduled(FaultKind::kTransferCorrupt, device, now, op) ||
-      roll(rates_.transfer_corrupt)) {
+      roll(rates_.transfer_corrupt) || storm) {
     record(FaultKind::kTransferCorrupt, device, now, op);
     return true;
   }
@@ -142,6 +188,23 @@ bool FaultInjector::poll_transfer_stall(int device, double now,
   if (poll_scheduled(FaultKind::kTransferStall, device, now, op) ||
       roll(rates_.transfer_stall)) {
     record(FaultKind::kTransferStall, device, now, op);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::poll_link_corrupt(int device, double now,
+                                      std::int64_t op) {
+  if (roll(rates_.link_corrupt)) {
+    record(FaultKind::kLinkCorrupt, device, now, op);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::poll_link_stall(int device, double now, std::int64_t op) {
+  if (roll(rates_.link_stall)) {
+    record(FaultKind::kLinkStall, device, now, op);
     return true;
   }
   return false;
@@ -196,8 +259,12 @@ FaultKind parse_kind(const std::string& s) {
   if (s == "nan") return FaultKind::kKernelNan;
   if (s == "corrupt") return FaultKind::kTransferCorrupt;
   if (s == "stall") return FaultKind::kTransferStall;
+  if (s == "nodekill") return FaultKind::kNodeFail;
+  if (s == "linkcorrupt") return FaultKind::kLinkCorrupt;
+  if (s == "linkstall") return FaultKind::kLinkStall;
   throw Error("faults spec: unknown fault kind: " + s +
-              " (expected kill|nan|corrupt|stall)");
+              " (expected kill|nan|corrupt|stall|nodekill|linkcorrupt|"
+              "linkstall)");
 }
 
 }  // namespace
@@ -213,6 +280,19 @@ void parse_fault_spec(const std::string& spec, FaultInjector& out) {
     }
     if (elem.rfind("stall_us=", 0) == 0) {
       out.set_stall_seconds(parse_number(elem.substr(9), elem) * 1e-6);
+      continue;
+    }
+    if (elem.rfind("nodecorrupt:", 0) == 0) {
+      // Node-scoped corrupt storm: "nodecorrupt:n<k>@p=<rate>".
+      const std::string rest = elem.substr(12);
+      const std::size_t at = rest.find('@');
+      CAGMRES_REQUIRE(at != std::string::npos && rest.size() >= 2 &&
+                          rest[0] == 'n' && rest.rfind("p=", at + 1) == at + 1,
+                      "faults spec: want nodecorrupt:n<k>@p=<rate> in " +
+                          elem);
+      rates.corrupt_node =
+          static_cast<int>(parse_number(rest.substr(1, at - 1), elem));
+      rates.node_corrupt = parse_number(rest.substr(at + 3), elem);
       continue;
     }
     const std::size_t colon = elem.find(':');
@@ -233,13 +313,25 @@ void parse_fault_spec(const std::string& spec, FaultInjector& out) {
         case FaultKind::kTransferStall:
           rates.transfer_stall = p;
           break;
+        case FaultKind::kLinkCorrupt:
+          rates.link_corrupt = p;
+          break;
+        case FaultKind::kLinkStall:
+          rates.link_stall = p;
+          break;
         case FaultKind::kDeviceFail:
           throw Error("faults spec: kill has no rate form (use d<k>@...)");
+        case FaultKind::kNodeFail:
+          throw Error(
+              "faults spec: nodekill has no rate form (use n<k>@...)");
       }
       continue;
     }
+    CAGMRES_REQUIRE(
+        kind != FaultKind::kLinkCorrupt && kind != FaultKind::kLinkStall,
+        "faults spec: link faults are rate-only (use p=...): " + elem);
 
-    // One-shot event: ("d" int | "*") '@' ("t="time | "op="uint)
+    // One-shot event: ("d" int | "n" int | "*") '@' ("t="time | "op="uint)
     const std::size_t at = rest.find('@');
     CAGMRES_REQUIRE(at != std::string::npos,
                     "faults spec: expected <dev>@<trigger> in " + elem);
@@ -249,6 +341,10 @@ void parse_fault_spec(const std::string& spec, FaultInjector& out) {
     e.kind = kind;
     if (dev == "*") {
       e.device = -1;
+    } else if (kind == FaultKind::kNodeFail) {
+      CAGMRES_REQUIRE(dev.size() >= 2 && dev[0] == 'n',
+                      "faults spec: bad node (want n<k> or *): " + elem);
+      e.device = static_cast<int>(parse_number(dev.substr(1), elem));
     } else {
       CAGMRES_REQUIRE(dev.size() >= 2 && dev[0] == 'd',
                       "faults spec: bad device (want d<k> or *): " + elem);

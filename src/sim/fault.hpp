@@ -35,6 +35,9 @@ enum class FaultKind {
   kKernelNan,        ///< transient kernel fault: the op's output is NaN
   kTransferCorrupt,  ///< transfer fails its checksum and must be resent
   kTransferStall,    ///< transfer is charged extra latency
+  kNodeFail,         ///< correlated: every device in one node fails at once
+  kLinkCorrupt,      ///< inter-node link corruption (cross-node only; rate)
+  kLinkStall,        ///< inter-node link stall (cross-node only; rate)
 };
 
 std::string to_string(FaultKind kind);
@@ -43,6 +46,9 @@ std::string to_string(FaultKind kind);
 /// for "whichever device reaches the trigger first". Exactly one of
 /// `at_time` (simulated seconds) and `at_op` (per-device op counter) must
 /// be set; the event fires on the first qualifying op at/after the trigger.
+/// For kNodeFail the `device` field holds a *node* id (or -1 for "whichever
+/// node's device reaches the trigger first"); firing kills every device in
+/// that node atomically.
 struct FaultEvent {
   FaultKind kind = FaultKind::kKernelNan;
   int device = -1;
@@ -56,6 +62,10 @@ struct FaultRates {
   double kernel_nan = 0.0;        ///< per device kernel
   double transfer_corrupt = 0.0;  ///< per transfer (each retry re-rolls)
   double transfer_stall = 0.0;    ///< per transfer
+  double link_corrupt = 0.0;      ///< per *cross-node* transfer only
+  double link_stall = 0.0;        ///< per *cross-node* transfer only
+  double node_corrupt = 0.0;      ///< corrupt storm scoped to `corrupt_node`
+  int corrupt_node = -1;          ///< node the storm targets (-1: disabled)
 };
 
 /// Budget for *nested* recovery: how many consecutive recovery rounds (a
@@ -77,9 +87,12 @@ struct RecoveryBudget {
 struct FaultStats {
   std::int64_t injected_total = 0;
   int device_failures = 0;
+  int node_failures = 0;              ///< correlated whole-node losses
   std::int64_t kernel_nans = 0;
   std::int64_t transfer_corruptions = 0;
   std::int64_t transfer_stalls = 0;
+  std::int64_t link_corruptions = 0;  ///< cross-node scoped corruptions
+  std::int64_t link_stalls = 0;       ///< cross-node scoped stalls
   std::int64_t transfer_retries = 0;  ///< retransmissions charged
   double retry_seconds = 0.0;         ///< sim seconds of backoff + resend
   double stall_seconds = 0.0;         ///< sim seconds of injected stalls
@@ -102,6 +115,13 @@ class FaultInjector {
   void schedule(const FaultEvent& event);
   void set_rates(const FaultRates& rates);
   void set_seed(std::uint64_t seed);
+  /// Node geometry for the correlated fault kinds (kNodeFail, node storms):
+  /// physical device d lives on node d / gpus_per_node. Machine keeps this
+  /// in sync with its Topology; under the flat default (1) each node is a
+  /// single-device domain, so a node kill degenerates to a device kill.
+  void set_gpus_per_node(int gpus) { gpus_per_node_ = gpus < 1 ? 1 : gpus; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int node_of(int device) const { return device / gpus_per_node_; }
   /// Extra latency one injected stall adds to a transfer.
   void set_stall_seconds(double s) { stall_seconds_ = s; }
   double stall_seconds() const { return stall_seconds_; }
@@ -115,6 +135,11 @@ class FaultInjector {
   bool poll_kernel_nan(int device, double now, std::int64_t op);
   bool poll_transfer_corrupt(int device, double now, std::int64_t op);
   bool poll_transfer_stall(int device, double now, std::int64_t op);
+  /// Cross-node-only polls: the machine consults these in addition to the
+  /// transfer polls, but only for messages that actually cross the network,
+  /// so intra-node traffic is immune to link degradation by construction.
+  bool poll_link_corrupt(int device, double now, std::int64_t op);
+  bool poll_link_stall(int device, double now, std::int64_t op);
 
   /// True once a kDeviceFail event fired for this device.
   bool device_dead(int device) const;
@@ -144,6 +169,7 @@ class FaultInjector {
   std::uint64_t seed_ = 0x5eedULL;
   Rng rng_{0x5eedULL};
   double stall_seconds_ = 250e-6;  ///< default: 10x the PCIe latency
+  int gpus_per_node_ = 1;          ///< node geometry for correlated kinds
   std::vector<int> dead_;          ///< physical ids of failed devices
   FaultStats stats_;
   std::vector<InjectionRecord> log_;
@@ -154,11 +180,14 @@ class FaultInjector {
 ///   spec    := elem (';' elem)*
 ///   elem    := "seed=" uint | "stall_us=" float
 ///            | kind ':' (rate | target)
+///            | "nodecorrupt:n" int "@p=" float (node-scoped corrupt storm)
 ///   kind    := "kill" | "nan" | "corrupt" | "stall"
-///   rate    := "p=" float                      (not valid for kill)
-///   target  := ("d" int | "*") '@' trigger
+///            | "nodekill" | "linkcorrupt" | "linkstall"
+///   rate    := "p=" float        (not valid for kill/nodekill; the only
+///                                 form for linkcorrupt/linkstall)
+///   target  := ("d" int | "n" int | "*") '@' trigger   (n<k> = nodekill)
 ///   trigger := "t=" time | "op=" uint          (time suffix: s, ms, us)
-/// Example: "seed=42;kill:d1@t=5ms;nan:p=0.001;corrupt:p=0.01"
+/// Example: "seed=42;nodekill:n1@t=5ms;linkcorrupt:p=0.01;nan:p=0.001"
 /// Throws Error(kBadInput) on malformed specs.
 void parse_fault_spec(const std::string& spec, FaultInjector& out);
 

@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <numeric>
 
@@ -30,6 +31,29 @@ SyncMode default_sync_mode() {
   return SyncMode::kEvent;
 }
 
+/// Topology for machines built by device count: CAGMRES_TOPOLOGY in the
+/// environment as "NxG" (N nodes of G devices) or a bare node count "N"
+/// (devices split evenly). A shape that does not tile the device count is
+/// silently ignored — the same binary drives machines of many sizes, and a
+/// 2x4 request must not blow up the 3-device paper testbed. Machines built
+/// from an explicit Topology are never overridden.
+Topology default_topology(int n_devices) {
+  const Topology flat{1, n_devices};
+  const char* s = std::getenv("CAGMRES_TOPOLOGY");
+  if (s == nullptr || *s == '\0') return flat;
+  int nodes = 0, gpus = 0;
+  if (std::sscanf(s, "%dx%d", &nodes, &gpus) < 2) {
+    if (std::sscanf(s, "%d", &nodes) == 1 && nodes > 0 &&
+        n_devices % nodes == 0) {
+      gpus = n_devices / nodes;
+    }
+  }
+  if (nodes >= 1 && gpus >= 1 && nodes * gpus == n_devices) {
+    return Topology{nodes, gpus};
+  }
+  return flat;
+}
+
 }  // namespace
 
 Counters Counters::operator-(const Counters& rhs) const {
@@ -46,6 +70,8 @@ Counters Counters::operator-(const Counters& rhs) const {
   out.h2d_msgs = h2d_msgs - rhs.h2d_msgs;
   out.net_bytes = net_bytes - rhs.net_bytes;
   out.net_msgs = net_msgs - rhs.net_msgs;
+  out.peer_bytes = peer_bytes - rhs.peer_bytes;
+  out.peer_msgs = peer_msgs - rhs.peer_msgs;
   for (int k = 0; k < kKernelClasses; ++k) {
     out.kernel_flops[static_cast<std::size_t>(k)] =
         kernel_flops[static_cast<std::size_t>(k)] -
@@ -66,7 +92,7 @@ double Counters::total_dev_flops() const {
 
 Machine::Machine(int n_devices, PerfModel model)
     : model_(model),
-      topo_{1, n_devices},
+      topo_(default_topology(n_devices)),
       clock_(n_devices),
       counters_(n_devices),
       dev_ops_(static_cast<std::size_t>(n_devices), 0),
@@ -76,6 +102,7 @@ Machine::Machine(int n_devices, PerfModel model)
       pool_(n_devices, default_host_workers(n_devices)) {
   dev_map_.resize(static_cast<std::size_t>(n_devices));
   std::iota(dev_map_.begin(), dev_map_.end(), 0);
+  faults_.set_gpus_per_node(topo_.gpus_per_node);
 }
 
 Machine::Machine(Topology topology, PerfModel model)
@@ -93,6 +120,26 @@ Machine::Machine(Topology topology, PerfModel model)
                   "empty topology");
   dev_map_.resize(static_cast<std::size_t>(topology.n_devices()));
   std::iota(dev_map_.begin(), dev_map_.end(), 0);
+  faults_.set_gpus_per_node(topo_.gpus_per_node);
+}
+
+void Machine::set_topology(int nodes, int devices_per_node) {
+  CAGMRES_REQUIRE(nodes >= 1 && devices_per_node >= 1 &&
+                      nodes * devices_per_node == n_physical_devices(),
+                  "set_topology: nodes * devices_per_node must equal the "
+                  "constructed device count");
+  CAGMRES_REQUIRE(n_devices() == n_physical_devices(),
+                  "set_topology: cannot reshape after a retirement");
+  topo_ = Topology{nodes, devices_per_node};
+  faults_.set_gpus_per_node(devices_per_node);
+}
+
+std::vector<int> Machine::dead_logical_devices() const {
+  std::vector<int> out;
+  for (int d = 0; d < n_devices(); ++d) {
+    if (faults_.device_dead(physical_device(d))) out.push_back(d);
+  }
+  return out;
 }
 
 void Machine::retire_device(int d) {
@@ -126,6 +173,7 @@ std::int64_t Machine::poll_faults_kernel(int logical, int physical) {
 }
 
 std::int64_t Machine::poll_faults_transfer_pre(int logical, int physical,
+                                               bool cross_net,
                                                double* extra_stall) {
   const auto p = static_cast<std::size_t>(physical);
   const std::int64_t op = ++dev_ops_[p];
@@ -142,18 +190,32 @@ std::int64_t Machine::poll_faults_transfer_pre(int logical, int physical,
     *extra_stall = faults_.stall_seconds();
     faults_.stats().stall_seconds += *extra_stall;
   }
+  // Inter-node link degradation only touches messages that actually cross
+  // the network; node-local and coordinating-node traffic never polls it.
+  if (cross_net && faults_.poll_link_stall(physical, now, op)) {
+    if (tracing_) {
+      trace_.record_instant(physical, now, "fault:linkstall", phase_);
+    }
+    *extra_stall += faults_.stall_seconds();
+    faults_.stats().stall_seconds += faults_.stall_seconds();
+  }
   return op;
 }
 
-void Machine::retry_corrupt_transfer(int logical, int physical, double bytes,
-                                     std::int64_t op, const char* name) {
+void Machine::retry_corrupt_transfer(int logical, int physical,
+                                     double resend_s, std::int64_t op,
+                                     bool cross_net, const char* name) {
   // Checksum verification: an injected corruption fails it and forces a
   // charged backoff + retransmission; the payload in host memory is the
   // authoritative copy, so a verified transfer always delivers clean data.
+  // Cross-network messages are additionally exposed to the inter-node
+  // link's own corruption rate, and each retry re-rolls both.
   double backoff = retry_.backoff_s;
   int attempts = 0;
   while (faults_.poll_transfer_corrupt(physical, clock_.device_time(physical),
-                                       op)) {
+                                       op) ||
+         (cross_net && faults_.poll_link_corrupt(
+                           physical, clock_.device_time(physical), op))) {
     if (tracing_) {
       trace_.record_instant(physical, clock_.device_time(physical),
                             "fault:corrupt", phase_);
@@ -169,8 +231,7 @@ void Machine::retry_corrupt_transfer(int logical, int physical, double bytes,
                       std::to_string(retry_.max_retries) + " retries",
                   ErrorCode::kRetriesExhausted, logical);
     }
-    double t = backoff + model_.transfer_seconds(bytes);
-    if (topo_.node_of(physical) != 0) t += model_.net_seconds(bytes);
+    const double t = backoff + resend_s;
     clock_.async_transfer(physical, t);
     if (tracing_) {
       trace_.record(physical, clock_.device_time(physical) - t,
@@ -244,58 +305,68 @@ void Machine::charge_host(Kernel k, double flops, double bytes) {
   check_deadline();
 }
 
-void Machine::d2h(int d, double bytes) {
+void Machine::charge_transfer(int d, double bytes, bool to_device,
+                              bool node_local, const char* name,
+                              const char* retry_name) {
   // A message from a remote node travels GPU -> local host -> network ->
   // coordinating host; the serial path is folded into the device timeline
-  // (the device-side data is in flight either way).
+  // (the device-side data is in flight either way). Node-local messages
+  // stay on the intra-node peer link and never touch the network.
   const int p = physical_device(d);
+  const bool cross_net = !node_local && is_remote(d);
   double stall = 0.0;
   std::int64_t op = 0;
-  if (faults_.armed()) op = poll_faults_transfer_pre(d, p, &stall);
-  double t = model_.transfer_seconds(bytes) + stall;
-  if (is_remote(d)) {
-    t += model_.net_seconds(bytes);
+  if (faults_.armed()) {
+    op = poll_faults_transfer_pre(d, p, cross_net, &stall);
+  }
+  double resend = node_local ? model_.peer_seconds(bytes)
+                             : model_.transfer_seconds(bytes);
+  if (cross_net) {
+    resend += model_.net_seconds(bytes);
     counters_.net_bytes += bytes;
     ++counters_.net_msgs;
   }
+  const double t = resend + stall;
   clock_.async_transfer(p, t);
   // Busy excludes the injected stall (and the retries below): latency-only
   // faults must not perturb the reduce fold order, or "identical numerics,
   // strictly more time" would stop holding under injection.
   dev_busy_[static_cast<std::size_t>(p)] += t - stall;
   if (tracing_) {
-    trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p), "d2h",
+    trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p), name,
                   phase_);
   }
-  counters_.d2h_bytes += bytes;
-  ++counters_.d2h_msgs;
-  if (faults_.armed()) retry_corrupt_transfer(d, p, bytes, op, "retry:d2h");
+  if (node_local) {
+    counters_.peer_bytes += bytes;
+    ++counters_.peer_msgs;
+  } else if (to_device) {
+    counters_.h2d_bytes += bytes;
+    ++counters_.h2d_msgs;
+  } else {
+    counters_.d2h_bytes += bytes;
+    ++counters_.d2h_msgs;
+  }
+  if (faults_.armed()) {
+    retry_corrupt_transfer(d, p, resend, op, cross_net, retry_name);
+  }
   mark_phase();
   check_deadline();
 }
 
+void Machine::d2h(int d, double bytes) {
+  charge_transfer(d, bytes, false, false, "d2h", "retry:d2h");
+}
+
 void Machine::h2d(int d, double bytes) {
-  const int p = physical_device(d);
-  double stall = 0.0;
-  std::int64_t op = 0;
-  if (faults_.armed()) op = poll_faults_transfer_pre(d, p, &stall);
-  double t = model_.transfer_seconds(bytes) + stall;
-  if (is_remote(d)) {
-    t += model_.net_seconds(bytes);
-    counters_.net_bytes += bytes;
-    ++counters_.net_msgs;
-  }
-  clock_.async_transfer(p, t);
-  dev_busy_[static_cast<std::size_t>(p)] += t - stall;  // see d2h
-  if (tracing_) {
-    trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p), "h2d",
-                  phase_);
-  }
-  counters_.h2d_bytes += bytes;
-  ++counters_.h2d_msgs;
-  if (faults_.armed()) retry_corrupt_transfer(d, p, bytes, op, "retry:h2d");
-  mark_phase();
-  check_deadline();
+  charge_transfer(d, bytes, true, false, "h2d", "retry:h2d");
+}
+
+void Machine::d2h_node(int d, double bytes) {
+  charge_transfer(d, bytes, false, true, "d2h_node", "retry:d2h_node");
+}
+
+void Machine::h2d_node(int d, double bytes) {
+  charge_transfer(d, bytes, true, true, "h2d_node", "retry:h2d_node");
 }
 
 Event Machine::record_event(int d) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <string>
 #include <vector>
@@ -41,6 +42,8 @@ struct Counters {
   std::int64_t h2d_msgs = 0;
   double net_bytes = 0.0;      ///< bytes that crossed the inter-node network
   std::int64_t net_msgs = 0;   ///< messages that crossed it
+  double peer_bytes = 0.0;     ///< bytes over intra-node (NVLink-class) links
+  std::int64_t peer_msgs = 0;  ///< messages over them
 
   /// Per-kernel-class aggregates across all devices (indexed by
   /// kernel_index): where the flops and the simulated kernel time went.
@@ -128,6 +131,13 @@ class Machine {
     return dev_map_[static_cast<std::size_t>(d)];
   }
   const Topology& topology() const { return topo_; }
+  /// Reshapes the machine into `nodes` fault domains of `devices_per_node`
+  /// devices each (nodes * devices_per_node must equal the constructed
+  /// device count, and no device may have been retired yet). Every transfer,
+  /// retry, and event timestamp from here on is priced through the two-level
+  /// rates; the fault injector's node geometry follows along. The flat
+  /// default (1 node) is bitwise-identical to a machine without this call.
+  void set_topology(int nodes, int devices_per_node);
   /// Node the device lives on (0 = the coordinating node).
   int node_of(int d) const { return topo_.node_of(physical_device(d)); }
   /// True when messages to/from this device cross the network.
@@ -151,6 +161,13 @@ class Machine {
 
   /// Posts an async host-to-device message to device d.
   void h2d(int d, double bytes);
+
+  /// Node-local transfers: device d <-> its *own node's* host memory over
+  /// the intra-node (NVLink-class) link. Never crosses the network, so
+  /// inter-node link faults cannot touch them. These are the hierarchical
+  /// checkpointing fast path; flat-mode solvers never call them.
+  void d2h_node(int d, double bytes);
+  void h2d_node(int d, double bytes);
 
   /// Host blocks until device d (and its copy queue) is done. Advances the
   /// simulated host clock AND drains device d's real work stream, so any
@@ -284,6 +301,12 @@ class Machine {
   /// one survivor. The physical timeline keeps its (frozen) history.
   void retire_device(int d);
 
+  /// Logical ids of every device the injector currently marks dead,
+  /// ascending. A correlated node kill marks the whole domain dead but
+  /// throws from a single victim's poll; the solver's fault handler surveys
+  /// the machine through this before deciding how much to retire.
+  std::vector<int> dead_logical_devices() const;
+
   /// Attributes subsequently elapsed simulated time to `phase`.
   void set_phase(const std::string& phase);
 
@@ -307,16 +330,24 @@ class Machine {
 
  private:
   void mark_phase();
+  /// Shared body of the four transfer flavours: fault polls (link-scoped
+  /// ones only when the message crosses the network), the charged time at
+  /// the right rate, counters, and the checksum retry loop.
+  void charge_transfer(int d, double bytes, bool to_device, bool node_local,
+                       const char* name, const char* retry_name);
   /// Pre-op fault gate for one physical device: advances its op counter,
   /// throws Error(kDeviceFault) if it is (or just became) dead, and latches
   /// the NaN-poison flag on an injected kernel fault. Returns the op index.
   std::int64_t poll_faults_kernel(int logical, int physical);
   std::int64_t poll_faults_transfer_pre(int logical, int physical,
-                                        double* extra_stall);
+                                        bool cross_net, double* extra_stall);
   /// Post-charge corruption check: charges bounded retransmissions with
-  /// backoff; throws Error(kRetriesExhausted) when the budget runs out.
-  void retry_corrupt_transfer(int logical, int physical, double bytes,
-                              std::int64_t op, const char* name);
+  /// backoff (`resend_s` per attempt); throws Error(kRetriesExhausted) when
+  /// the budget runs out. Cross-network messages additionally re-roll the
+  /// inter-node link corruption rate.
+  void retry_corrupt_transfer(int logical, int physical, double resend_s,
+                              std::int64_t op, bool cross_net,
+                              const char* name);
   /// Watchdog gate: throws Error(kDeadlineExceeded) once the armed deadline
   /// is crossed on the simulated clock (see set_deadline).
   void check_deadline();
@@ -355,6 +386,27 @@ class DrainGuard {
 
  private:
   Machine& m_;
+};
+
+/// Drain guard that fires ONLY on exceptional unwind. Functions that throw
+/// (CAGMRES_REQUIRE and friends) while the pool may still hold closures
+/// referencing their stack frames declare one of these at entry: the happy
+/// path costs two integer reads and no barrier, while any exception leaving
+/// the scope drains the pool before the frame's buffers are destroyed
+/// (the PR 6 use-after-free class, TSan-pinned in sim_test).
+class UnwindDrainGuard {
+ public:
+  explicit UnwindDrainGuard(Machine& m)
+      : m_(m), depth_(std::uncaught_exceptions()) {}
+  ~UnwindDrainGuard() {
+    if (std::uncaught_exceptions() > depth_) m_.sync_nothrow();
+  }
+  UnwindDrainGuard(const UnwindDrainGuard&) = delete;
+  UnwindDrainGuard& operator=(const UnwindDrainGuard&) = delete;
+
+ private:
+  Machine& m_;
+  int depth_;
 };
 
 /// RAII phase label: attributes the enclosed region's elapsed simulated time.

@@ -93,4 +93,8 @@ double PerfModel::net_seconds(double bytes) const {
   return net_latency_s + bytes / net_bw;
 }
 
+double PerfModel::peer_seconds(double bytes) const {
+  return peer_latency_s + bytes / peer_bw;
+}
+
 }  // namespace cagmres::sim

@@ -78,6 +78,12 @@ struct PerfModel {
   double net_latency_s = 15e-6;        ///< per MPI message (incl. stack)
   double net_bw = 3.2e9;               ///< B/s per link
 
+  // --- intra-node peer link (NVLink-class, for the two-level hierarchy) ---
+  // Devices on the same non-coordinating node exchange checkpoint shards and
+  // node-local halo traffic at these rates instead of paying PCIe + network.
+  double peer_latency_s = 8e-6;        ///< per peer message
+  double peer_bw = 20e9;               ///< B/s per direction
+
   /// Seconds one device kernel takes under this model.
   double device_seconds(Kernel k, double flops, double bytes) const;
 
@@ -89,6 +95,9 @@ struct PerfModel {
 
   /// Seconds for one inter-node network message of `bytes`.
   double net_seconds(double bytes) const;
+
+  /// Seconds for one intra-node (NVLink-class) peer message of `bytes`.
+  double peer_seconds(double bytes) const;
 
   /// The flop/s rate this model uses for a device kernel class (peak, before
   /// launch/memory effects) — exposed for the Fig. 11 rate-curve bench.

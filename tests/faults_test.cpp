@@ -160,6 +160,51 @@ TEST(FaultInjectorOrder, OnePerPollEvenWhenSeveralAreDue) {
   EXPECT_EQ(inj.stats().kernel_nans, 2);
 }
 
+TEST(FaultInjectorOrder, NodeKillIsAtomicAndFiresInScheduleOrder) {
+  // Two node kills on a 2-node x 2-GPU layout: the first polling device
+  // consumes event #1 and takes its WHOLE node down in the same poll; the
+  // surviving node's first poll consumes event #2. Order is fixed by the
+  // schedule, not by which device ids poll.
+  FaultInjector inj;
+  inj.set_gpus_per_node(2);  // devices {0,1} = node 0, {2,3} = node 1
+  FaultEvent kill;
+  kill.kind = FaultKind::kNodeFail;
+  kill.device = -1;  // whichever node's device reaches the trigger first
+  kill.at_time = 1.0;
+  inj.schedule(kill);
+  kill.device = 0;  // then node 0 explicitly
+  inj.schedule(kill);
+  // Device 3 polls first: event #1 fires and node 1 dies atomically.
+  EXPECT_TRUE(inj.poll_device_fail(3, 1.5, 10));
+  EXPECT_TRUE(inj.device_dead(3));
+  EXPECT_TRUE(inj.device_dead(2));  // sibling dead without ever polling
+  EXPECT_FALSE(inj.device_dead(0));
+  EXPECT_FALSE(inj.device_dead(1));
+  // Dead siblings keep reporting failure WITHOUT consuming event #2.
+  EXPECT_TRUE(inj.poll_device_fail(2, 1.6, 11));
+  EXPECT_FALSE(inj.device_dead(0));
+  // Node 0's first poll consumes event #2: both members die together.
+  EXPECT_TRUE(inj.poll_device_fail(0, 1.7, 12));
+  EXPECT_TRUE(inj.device_dead(0));
+  EXPECT_TRUE(inj.device_dead(1));
+  EXPECT_EQ(inj.stats().node_failures, 2);
+  EXPECT_EQ(inj.stats().device_failures, 4);  // node kills count members
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_EQ(inj.log()[0].kind, FaultKind::kNodeFail);
+  EXPECT_EQ(inj.log()[0].device, 3);  // the polling victim, schedule order
+  EXPECT_EQ(inj.log()[1].device, 0);
+
+  // Replay determinism: reset() rewinds the fired flags and the same poll
+  // sequence reproduces the same trigger order and log bytes.
+  inj.reset();
+  EXPECT_TRUE(inj.poll_device_fail(3, 1.5, 10));
+  EXPECT_TRUE(inj.poll_device_fail(2, 1.6, 11));
+  EXPECT_TRUE(inj.poll_device_fail(0, 1.7, 12));
+  ASSERT_EQ(inj.log().size(), 2u);
+  EXPECT_EQ(inj.log()[0].device, 3);
+  EXPECT_EQ(inj.log()[1].device, 0);
+}
+
 TEST(FaultInjector, RejectsBadProbabilitiesAndTriggers) {
   FaultInjector inj;
   sim::FaultRates rates;
@@ -329,6 +374,39 @@ TEST(DeviceDropout, TimeTriggeredKillOnWildcardDevice) {
   const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
   EXPECT_TRUE(res.stats.converged);
   EXPECT_EQ(machine.n_devices(), 2);
+  EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+// --- acceptance scenario (a'): correlated whole-node dropout ----------
+
+TEST(NodeDropout, CaGmresRecoversViaPartnerCheckpoint) {
+  const TestSystem s = make_system(4);
+  Machine machine(4);
+  machine.set_topology(2, 2);  // node 0 = {0,1}, node 1 = {2,3}
+  sim::parse_fault_spec("nodekill:n1@op=600", machine.fault_injector());
+  const core::SolveResult res = core::ca_gmres(machine, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_EQ(machine.n_devices(), 2);  // the whole node retired at once
+  EXPECT_EQ(res.stats.recovery.node_failures, 1);
+  EXPECT_EQ(res.stats.recovery.device_failures, 2);
+  EXPECT_EQ(res.stats.recovery.repartitions, 1);
+  // x came back from node 0's partner mirror, not a host checkpoint.
+  EXPECT_GE(res.stats.recovery.partner_restores, 1);
+  EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+TEST(NodeDropout, GmresPartnerOffFallsBackToHostCheckpoint) {
+  const TestSystem s = make_system(4);
+  Machine machine(4);
+  machine.set_topology(2, 2);
+  sim::parse_fault_spec("nodekill:n1@op=400", machine.fault_injector());
+  core::SolverOptions o = base_opts();
+  o.partner_checkpoint = false;
+  const core::SolveResult res = core::gmres(machine, s.p, o);
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_EQ(machine.n_devices(), 2);
+  EXPECT_EQ(res.stats.recovery.node_failures, 1);
+  EXPECT_EQ(res.stats.recovery.partner_restores, 0);
   EXPECT_LT(relative_residual(s, res.x), 1e-5);
 }
 

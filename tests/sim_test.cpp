@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 #include <cstddef>
+#include <future>
 #include <mutex>
 #include <sstream>
 #include <vector>
@@ -347,6 +348,49 @@ TEST(Topology, ReductionSlowerAcrossNodesThanWithin) {
   EXPECT_LT(reduction_time(Topology{1, 4}), reduction_time(Topology{2, 2}));
 }
 
+TEST(Topology, ZeroFaultSolveIsByteIdenticalAcrossModesAndWorkers) {
+  // set_topology only changes where bytes are charged (peer vs PCIe vs
+  // network hops), never the arithmetic: with no faults armed, x, the
+  // residual history, and the charged clock must match bitwise across
+  // {barrier, event} x {0, 2 workers} on a 2x2 multi-node machine.
+  const auto a = sparse::make_laplace2d(24, 24, 0.1, 0.02);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const int ng = 4;
+  const core::Problem p =
+      core::make_problem(a, b, ng, graph::Ordering::kNatural, true, 1);
+  core::SolverOptions opts;
+  opts.m = 30;
+  opts.s = 6;
+  opts.tol = 1e-6;
+  opts.max_restarts = 400;
+
+  std::vector<core::SolveResult> results;
+  std::vector<double> elapsed;
+  for (const SyncMode mode : {SyncMode::kBarrier, SyncMode::kEvent}) {
+    for (const int workers : {0, 2}) {
+      Machine m(ng);
+      m.set_topology(2, 2);
+      m.set_sync_mode(mode);
+      m.set_host_workers(workers);
+      results.push_back(core::ca_gmres(m, p, opts));
+      elapsed.push_back(m.clock().elapsed());
+    }
+  }
+  // Within a mode: everything identical, including the charged clock.
+  for (const std::size_t base : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_EQ(results[base].x, results[base + 1].x);
+    EXPECT_EQ(results[base].stats.time_total, results[base + 1].stats.time_total);
+    EXPECT_EQ(results[base].stats.residual_history,
+              results[base + 1].stats.residual_history);
+    EXPECT_EQ(elapsed[base], elapsed[base + 1]);
+  }
+  // Across modes: same arithmetic, so x matches bitwise; event sync may
+  // only ever remove charged blocking.
+  EXPECT_EQ(results[0].x, results[2].x);
+  EXPECT_EQ(results[0].stats.iterations, results[2].stats.iterations);
+  EXPECT_LE(results[2].stats.time_total, results[0].stats.time_total);
+}
+
 TEST(DeviceBlas, ReductionPatternTiming) {
   // A scalar all-reduce (dot) across 3 devices should cost roughly:
   // dot kernel + D2H latency (concurrent) + host add + (broadcast H2D).
@@ -398,6 +442,39 @@ TEST(HostPool, ExceptionsLatchPerStreamAndRethrowAtDrain) {
   EXPECT_THROW(pool.drain(0), Error);
   pool.drain(1);
   pool.drain(0);  // latched error was consumed by the first drain
+}
+
+TEST(UnwindDrainGuard, HappyPathSkipsBarrierAndUnwindDrains) {
+  Machine m(2);
+  m.set_host_workers(2);
+
+  // Happy path: leaving the guard's scope with a task still parked on a
+  // stream must NOT drain — a drain here would deadlock on the latch.
+  std::promise<void> gate;
+  std::shared_future<void> opened(gate.get_future());
+  m.run_on_device(0, [opened] { opened.wait(); });
+  { UnwindDrainGuard guard(m); }  // two integer reads, no barrier
+  gate.set_value();
+  m.sync();
+
+  // Unwind path: the guard drains before the frame's buffer dies, so every
+  // closure referencing it has finished by the catch site (the
+  // use-after-free class DESIGN §9 calls out; run under TSan via this
+  // test's tsan label).
+  std::atomic<int> ran{0};
+  try {
+    std::vector<double> buf(256, 0.0);
+    UnwindDrainGuard guard(m);
+    for (int i = 0; i < 64; ++i) {
+      m.run_on_device(i % 2, [&buf, &ran, i] {
+        buf[static_cast<std::size_t>(i * 4 % 256)] += 1.0;
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    throw Error("induced unwind");
+  } catch (const Error&) {
+    EXPECT_EQ(ran.load(), 64);  // all in-flight work drained by the guard
+  }
 }
 
 TEST(HostPool, ResizeDrainsThenChangesWorkerCount) {
