@@ -26,13 +26,19 @@
 //      vs the intra-node links — the §VII projection of how the two-level
 //      fabric prices the same algorithm.
 //
-//   4. node_kill_recovery — at each multi-node shape, one whole-node kill
+//   4. hier_reduce — the deep shapes solved with the hierarchical two-stage
+//      collectives on vs forced off, across both sync modes and worker
+//      counts: all eight solutions bitwise identical, hier charging less,
+//      and a single reduction placing at most one inter-node message per
+//      node where the flat fold pays one per off-node device.
+//
+//   5. node_kill_recovery — at each multi-node shape, one whole-node kill
 //      mid-solve, recovered once with hierarchical partner checkpointing
 //      (SolverOptions::partner_checkpoint, the default) and once with the
 //      flat host-checkpoint path. partner_cheaper records whether the
 //      buddy scheme won in charged seconds; it must at ng >= 16.
 //
-//   5. gram_microbench — the blocked V^T·W Gram kernel and the V·R panel
+//   6. gram_microbench — the blocked V^T·W Gram kernel and the V·R panel
 //      update in blas3.cpp against naive triple loops, single-threaded,
 //      on a panel shape (long m, narrow k) where the long dimension
 //      doesn't fit in cache. This isolates the cache-blocking win from
@@ -56,6 +62,7 @@
 #include "common/options.hpp"
 #include "core/cagmres.hpp"
 #include "core/gmres.hpp"
+#include "ortho/reduce.hpp"
 #include "sim/machine.hpp"
 
 using namespace cagmres;
@@ -270,15 +277,23 @@ int main(int argc, char** argv) {
                       : core::make_problem(a, b, sw_ng,
                                            graph::parse_ordering(oname),
                                            true, 7);
+      // Node-first partition for the multi-node run of this shape (KWY
+      // splits node-major so halo edges concentrate inside nodes).
+      core::Problem pnode;
+      if (sw_nodes > 1) {
+        pnode = core::make_problem(a, b, sw_ng, graph::parse_ordering(oname),
+                                   true, 7, sw_nodes);
+      }
       double flat_hint = 0.0;
       std::vector<int> node_counts = {1};
       if (sw_nodes > 1) node_counts.push_back(sw_nodes);
       for (const int nodes : node_counts) {
+        const core::Problem& pr = nodes > 1 ? pnode : psw;
         sim::Machine machine(sw_ng);
         if (nodes > 1) machine.set_topology(nodes, sw_ng / nodes);
         core::SolverOptions so = sopts;
         so.s = smoke ? 5 : opts.get_int("s");
-        const core::SolveResult res = core::ca_gmres(machine, psw, so);
+        const core::SolveResult res = core::ca_gmres(machine, pr, so);
         ScaleRow row;
         row.ng = sw_ng;
         row.nodes = nodes;
@@ -309,7 +324,7 @@ int main(int argc, char** argv) {
           mk.fault_injector().schedule(kill);
           core::SolverOptions ko = so;
           ko.partner_checkpoint = partner;
-          const core::SolveResult res_k = core::ca_gmres(mk, psw, ko);
+          const core::SolveResult res_k = core::ca_gmres(mk, pr, ko);
           KillRow kr;
           kr.ng = sw_ng;
           kr.nodes = nodes;
@@ -333,6 +348,91 @@ int main(int argc, char** argv) {
         std::printf("    ng=%-3d nodes=%d  partner_cheaper=%s\n", sw_ng,
                     nodes, cheaper ? "true" : "false");
       }
+    }
+  }
+
+  // --- hier_reduce: two-stage node-grouped reductions vs flat fold -------
+  // At each deep shape, the same node-first problem solved with the
+  // hierarchical collectives on (Machine default for nodes > 1) and forced
+  // off, across {barrier, event} x {0, 2 workers}: all eight solutions must
+  // match bitwise (the fold tree is knob/mode/worker invariant; only the
+  // charges move), hier must charge less, and a single reduction must put
+  // at most `nodes` messages on the inter-node network where the flat fold
+  // pays one per off-node device.
+  struct HierRow {
+    int ng = 0;
+    int nodes = 1;
+    double flat_sim = 0.0;
+    double hier_sim = 0.0;
+    long long flat_red_net_msgs = 0;
+    long long hier_red_net_msgs = 0;
+    bool identical = false;
+    bool converged = true;
+  };
+  std::vector<HierRow> hier_rows;
+  {
+    std::vector<std::pair<int, int>> hshapes = {{8, 2}};
+    if (!smoke) hshapes = {{16, 4}, {64, 8}};
+    std::printf("\n  hier_reduce (two-stage vs flat fold):\n");
+    for (const auto& [hng, hnodes] : hshapes) {
+      const core::Problem ph = core::make_problem(
+          a, b, hng, graph::parse_ordering(oname), true, 7, hnodes);
+      HierRow hr;
+      hr.ng = hng;
+      hr.nodes = hnodes;
+      hr.identical = true;
+      std::vector<double> x0;
+      bool first = true;
+      for (const bool hier : {false, true}) {
+        for (const bool ev : {false, true}) {
+          for (const int w : {0, 2}) {
+            sim::Machine mh(hng);
+            mh.set_topology(hnodes, hng / hnodes);
+            mh.set_hier_reduce(hier);
+            mh.set_sync_mode(ev ? sim::SyncMode::kEvent
+                                : sim::SyncMode::kBarrier);
+            mh.set_host_workers(w);
+            core::SolverOptions so = sopts;
+            so.s = smoke ? 5 : opts.get_int("s");
+            const core::SolveResult rs = core::ca_gmres(mh, ph, so);
+            if (first) {
+              x0 = rs.x;
+              first = false;
+            }
+            hr.identical = hr.identical && rs.x == x0;
+            hr.converged = hr.converged && rs.stats.converged;
+            // Headline charge comparison at the default sync mode (event),
+            // workers are charge-invariant.
+            if (ev && w == 0) {
+              (hier ? hr.hier_sim : hr.flat_sim) = rs.stats.time_total;
+            }
+          }
+        }
+      }
+      // Per-reduction network message microcount: one bare reduce of ng
+      // device partials on an otherwise idle machine.
+      for (const bool hier : {false, true}) {
+        sim::Machine mh(hng);
+        mh.set_topology(hnodes, hng / hnodes);
+        mh.set_hier_reduce(hier);
+        std::vector<std::vector<double>> parts(
+            static_cast<std::size_t>(hng), std::vector<double>(8, 1.0));
+        std::vector<double> sum(8, 0.0);
+        const std::int64_t before = mh.counters().net_msgs;
+        ortho::detail::reduce_to_host(mh, parts, 8, sum.data());
+        mh.sync();
+        (hier ? hr.hier_red_net_msgs : hr.flat_red_net_msgs) =
+            static_cast<long long>(mh.counters().net_msgs - before);
+      }
+      hier_rows.push_back(hr);
+      std::printf(
+          "    ng=%-3d %dx%-2d  flat=%9.4fs  hier=%9.4fs  (%.3fx)  "
+          "red_net_msgs %lld -> %lld%s%s\n",
+          hng, hnodes, hng / hnodes, hr.flat_sim, hr.hier_sim,
+          hr.hier_sim > 0.0 ? hr.flat_sim / hr.hier_sim : 0.0,
+          hr.flat_red_net_msgs, hr.hier_red_net_msgs,
+          hr.converged ? "" : " (nc)",
+          hr.identical ? "" : "  RESULTS DIVERGED");
     }
   }
 
@@ -430,6 +530,23 @@ int main(int argc, char** argv) {
         << ", \"iterations\": " << r.iterations << ", \"converged\": "
         << json_bool(r.converged) << "}"
         << (i + 1 < scale_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"hier_reduce\": [\n";
+  for (std::size_t i = 0; i < hier_rows.size(); ++i) {
+    const auto& r = hier_rows[i];
+    out << "    {\"ng\": " << r.ng << ", \"nodes\": " << r.nodes
+        << ", \"flat_sim_seconds\": " << r.flat_sim
+        << ", \"hier_sim_seconds\": " << r.hier_sim << ", \"speedup\": "
+        << (r.hier_sim > 0.0 ? r.flat_sim / r.hier_sim : 0.0)
+        << ", \"flat_reduction_net_msgs\": " << r.flat_red_net_msgs
+        << ", \"hier_reduction_net_msgs\": " << r.hier_red_net_msgs
+        << ", \"hier_cheaper\": " << json_bool(r.hier_sim < r.flat_sim)
+        << ", \"at_most_one_msg_per_node\": "
+        << json_bool(r.hier_red_net_msgs <= r.nodes)
+        << ", \"identical_results\": " << json_bool(r.identical)
+        << ", \"converged\": " << json_bool(r.converged) << "}"
+        << (i + 1 < hier_rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"node_kill_recovery\": [\n";

@@ -137,6 +137,15 @@ int main(int argc, char** argv) {
                 res.stats.residual_gap, res.stats.residual_gap_max);
   }
 
+  // Where communication went, by interconnect tier (also emitted into the
+  // trace as one "traffic:..." instant per restart on the host row).
+  const auto& tt = res.stats.traffic;
+  std::printf("traffic: peer %.1f KB / %lld msgs, pcie %.1f KB / %lld msgs, "
+              "net %.1f KB / %lld msgs\n\n",
+              tt.peer_bytes / 1024.0, static_cast<long long>(tt.peer_msgs),
+              tt.pcie_bytes / 1024.0, static_cast<long long>(tt.pcie_msgs),
+              tt.net_bytes / 1024.0, static_cast<long long>(tt.net_msgs));
+
   // Per-kernel-class breakdown of the device work (the counters behind the
   // trace): effective rate = flops / simulated kernel time.
   std::printf("%-10s %10s %12s %12s\n", "kernel", "calls", "Mflop",

@@ -12,6 +12,11 @@
 #               and node_kill_recovery sections: every sweep point must have
 #               run, and partner checkpointing must beat the flat
 #               host-checkpoint restart at every ng >= 16 shape present.
+#               The hier_reduce section gates too: the hierarchical
+#               two-stage fold must charge strictly less than the flat
+#               per-device fold at every ng >= 16 shape, send at most one
+#               inter-node message per node per reduction, and match the
+#               flat results bitwise.
 #
 # Note: the worker-sweep speedup needs real cores. On a single-core machine
 # the sweep still runs (and still checks result identity across worker
@@ -85,5 +90,31 @@ for row in kills:
         f"(partner_cheaper={row['partner_cheaper']})"
     )
 print(f"compare OK: scale_sweep covers {len(sweep)} (ng, nodes) points")
+
+hier = doc.get("hier_reduce")
+if not hier:
+    sys.exit("compare: JSON has no hier_reduce section")
+for row in hier:
+    if not row.get("identical_results"):
+        sys.exit(f"compare: hier and flat folds produced different x: {row}")
+    if not row.get("at_most_one_msg_per_node"):
+        sys.exit(
+            "compare: reduction sent more than one inter-node message per "
+            f"node: {row}"
+        )
+    if row["ng"] >= 16 and not row.get("hier_cheaper"):
+        sys.exit(
+            "compare: hierarchical fold lost to flat fold at "
+            f"ng={row['ng']}: hier {row['hier_sim_seconds']:.6f}s vs "
+            f"flat {row['flat_sim_seconds']:.6f}s"
+        )
+    print(
+        f"compare OK: ng={row['ng']} ({row['nodes']} nodes) hier "
+        f"{row['hier_sim_seconds']:.6f}s vs flat "
+        f"{row['flat_sim_seconds']:.6f}s "
+        f"(speedup {row['speedup']:.4f}x, "
+        f"reduction net msgs {row['flat_reduction_net_msgs']} -> "
+        f"{row['hier_reduction_net_msgs']})"
+    )
 EOF
 fi

@@ -53,6 +53,17 @@ CAGMRES_SYNC_MODE=barrier CAGMRES_HOST_WORKERS=2 \
   ctest --preset tsan -j
 
 echo
+echo "== multi-node escape hatch: ortho/mpk suites, CAGMRES_TOPOLOGY=2 =="
+# Force a 2-node topology on the suites that exercise the hierarchical
+# two-stage reductions and the split halo exchange (DESIGN §13), event mode
+# with the host pool, then again under tsan: the node-leader closures and
+# per-side pack events must stay race-free with workers draining streams.
+CAGMRES_TOPOLOGY=2 CAGMRES_HOST_WORKERS=2 \
+  ctest --preset default -R '^(ortho_test|mpk_test)$' -j
+CAGMRES_TOPOLOGY=2 CAGMRES_HOST_WORKERS=2 \
+  ctest --preset tsan -R '^(ortho_test|mpk_test)$' -j
+
+echo
 echo "== chaos gate: 64-schedule campaign, both sync modes, default build =="
 # The invariant oracle (DESIGN §11): every randomized fault schedule must
 # end converged, cleanly errored, or watchdog-tripped, replay bit-identically,
@@ -84,7 +95,7 @@ if [[ "$bench_smoke" == 1 ]]; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-for key in ("solver_sweep", "event_overlap", "scale_sweep",
+for key in ("solver_sweep", "event_overlap", "scale_sweep", "hier_reduce",
             "node_kill_recovery", "gram_microbench", "nproc"):
     if key not in doc:
         sys.exit(f"bench smoke: JSON missing key {key!r}")
@@ -96,6 +107,15 @@ for row in doc["solver_sweep"]:
 ov = doc["event_overlap"]
 if not ov.get("identical_results"):
     sys.exit(f"bench smoke: event/barrier results diverged: {ov}")
+if not doc["hier_reduce"]:
+    sys.exit("bench smoke: empty hier_reduce")
+for row in doc["hier_reduce"]:
+    if not row.get("identical_results"):
+        sys.exit(f"bench smoke: hier/flat results diverged: {row}")
+    if not row.get("hier_cheaper"):
+        sys.exit(f"bench smoke: hierarchical fold not cheaper: {row}")
+    if not row.get("at_most_one_msg_per_node"):
+        sys.exit(f"bench smoke: >1 inter-node msg per node per reduction: {row}")
 if ov["event_sim_seconds"] > 1.10 * ov["barrier_sim_seconds"]:
     sys.exit(
         "bench smoke: event-sync charged time regressed >10% vs barrier: "

@@ -87,6 +87,9 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   const int s = std::min(opts.s, mm);
   const bool resilient = machine.faults_armed();
   const sim::FaultStats faults0 = machine.fault_injector().stats();
+  const sim::Counters ctr0 = machine.counters();
+  // Per-restart tier-traffic trace instants diff against this snapshot.
+  sim::Counters ctr_last = ctr0;
   std::vector<int> rows = problem.rows_per_device();
 
   // Owned repartitioned copy after a device loss; `prob` always points at
@@ -367,6 +370,10 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         st.iterations += cycle.k;
         ++st.restarts;
         ++restart;
+        if (machine.tracing()) {
+          trace_tier_traffic(machine, ctr_last);
+          ctr_last = machine.counters();
+        }
         domains.on_restart_completed();  // refills the recovery budgets
         if (cycle.k == 0) {
           prev_recurrence = -1.0;  // no usable estimate from this cycle
@@ -628,6 +635,10 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
       }
       ++st.restarts;
       ++restart;
+      if (machine.tracing()) {
+        trace_tier_traffic(machine, ctr_last);
+        ctr_last = machine.counters();
+      }
       domains.on_restart_completed();  // a completed restart refills budgets
       harvest_pending_shifts();
       // The true residual decides at the top of the next restart; the
@@ -688,6 +699,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   st.residual_gap_max = hm.residual_gap_max();
 
   st.time_total = machine.clock().elapsed() - t0;
+  st.traffic = tier_traffic(ctr0, machine.counters());
   const sim::PhaseTimers& ph = machine.phases();
   st.time_spmv = ph.get("spmv") - phases0.get("spmv");
   st.time_mpk = ph.get("mpk") - phases0.get("mpk");

@@ -81,9 +81,9 @@ void Checkpointer::arm_mirrors() {
     }
     if (!populated) continue;
     const double bytes = shard_bytes_[static_cast<std::size_t>(k)];
-    latest.t += m_.perf().net_seconds(bytes);
-    m_.counters().net_bytes += bytes;
-    ++m_.counters().net_msgs;
+    // One coalesced message per node, queued on the shared NIC behind any
+    // in-flight cross-node traffic (Machine::nic_dma owns the counters).
+    latest.t = m_.nic_dma(bytes, latest.t);
     mirror_[static_cast<std::size_t>(k)] = latest;
     mirror_ok_[static_cast<std::size_t>(k)] = 1;
   }

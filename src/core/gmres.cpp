@@ -224,6 +224,9 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   CAGMRES_REQUIRE(opts.m >= 1, "restart length must be positive");
   const bool resilient = machine.faults_armed();
   const sim::FaultStats faults0 = machine.fault_injector().stats();
+  const sim::Counters ctr0 = machine.counters();
+  // Per-restart tier-traffic trace instants diff against this snapshot.
+  sim::Counters ctr_last = ctr0;
   std::vector<int> rows = problem.rows_per_device();
 
   // Owned repartitioned copy after a device loss; `prob` always points at
@@ -394,6 +397,10 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
           cycle.k > 0 && cycle.ls_residual <= opts.tol * st.initial_residual;
       ++st.restarts;
       ++restart;
+      if (machine.tracing()) {
+        trace_tier_traffic(machine, ctr_last);
+        ctr_last = machine.counters();
+      }
       domains.on_restart_completed();  // a completed restart refills budgets
     } catch (const Error& e) {
       // The domain handler classifies the fault (single device vs whole
@@ -448,6 +455,7 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   st.residual_gap_max = hm.residual_gap_max();
 
   st.time_total = machine.clock().elapsed() - t0;
+  st.traffic = tier_traffic(ctr0, machine.counters());
   const sim::PhaseTimers& ph = machine.phases();
   st.time_spmv = ph.get("spmv") - phases0.get("spmv");
   st.time_orth = ph.get("orth") - phases0.get("orth");

@@ -37,6 +37,9 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
   SolveStats& st = result.stats;
   const double t0 = machine.clock().elapsed();
   const sim::PhaseTimers phases0 = machine.phases();
+  const sim::Counters ctr0 = machine.counters();
+  // Per-restart tier-traffic trace instants diff against this snapshot.
+  sim::Counters ctr_last = ctr0;
 
   // --- numerical health monitor (core/health.hpp) ---
   // The pipelined recurrence is fixed by construction (CGS-style fused
@@ -226,6 +229,10 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
         k > 0 && cycle_ls_res >= 0.0 &&
         cycle_ls_res <= opts.tol * st.initial_residual;
     ++st.restarts;
+    if (machine.tracing()) {
+      trace_tier_traffic(machine, ctr_last);
+      ctr_last = machine.counters();
+    }
   }
   st.final_residual = res;
   st.health_events = hm.take_events();
@@ -234,6 +241,7 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
   st.residual_gap_max = hm.residual_gap_max();
 
   st.time_total = machine.clock().elapsed() - t0;
+  st.traffic = tier_traffic(ctr0, machine.counters());
   const sim::PhaseTimers& ph = machine.phases();
   st.time_spmv = ph.get("spmv") - phases0.get("spmv");
   st.time_orth = ph.get("orth") - phases0.get("orth");

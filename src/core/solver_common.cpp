@@ -1,6 +1,7 @@
 #include "core/solver_common.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "blas/blas1.hpp"
 #include "common/error.hpp"
@@ -17,6 +18,35 @@ std::string to_string(Basis b) {
   return b == Basis::kMonomial ? "monomial" : "newton";
 }
 
+TierTraffic tier_traffic(const sim::Counters& before,
+                         const sim::Counters& after) {
+  TierTraffic t;
+  t.peer_bytes = after.peer_bytes - before.peer_bytes;
+  t.peer_msgs = after.peer_msgs - before.peer_msgs;
+  t.pcie_bytes = (after.d2h_bytes + after.h2d_bytes) -
+                 (before.d2h_bytes + before.h2d_bytes);
+  t.pcie_msgs =
+      (after.d2h_msgs + after.h2d_msgs) - (before.d2h_msgs + before.h2d_msgs);
+  t.net_bytes = after.net_bytes - before.net_bytes;
+  t.net_msgs = after.net_msgs - before.net_msgs;
+  return t;
+}
+
+void trace_tier_traffic(sim::Machine& machine, const sim::Counters& before) {
+  if (!machine.tracing()) return;
+  const TierTraffic t = tier_traffic(before, machine.counters());
+  const auto fmt = [](double bytes, std::int64_t msgs) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1fKB/%lld", bytes / 1024.0,
+                  static_cast<long long>(msgs));
+    return std::string(buf);
+  };
+  machine.trace_instant("traffic:peer=" + fmt(t.peer_bytes, t.peer_msgs) +
+                            ":pcie=" + fmt(t.pcie_bytes, t.pcie_msgs) +
+                            ":net=" + fmt(t.net_bytes, t.net_msgs),
+                        "other");
+}
+
 std::vector<int> Problem::rows_per_device() const {
   std::vector<int> rows;
   rows.reserve(offsets.size() - 1);
@@ -28,12 +58,12 @@ std::vector<int> Problem::rows_per_device() const {
 
 Problem make_problem(const sparse::CsrMatrix& a, const std::vector<double>& b,
                      int n_devices, graph::Ordering ordering, bool balance,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, int n_nodes) {
   CAGMRES_REQUIRE(a.n_rows == a.n_cols, "need a square system");
   CAGMRES_REQUIRE(static_cast<int>(b.size()) == a.n_rows, "rhs size mismatch");
   Problem p;
   const graph::Partition part =
-      graph::make_partition(a, n_devices, ordering, seed);
+      graph::make_partition(a, n_devices, ordering, seed, n_nodes);
   p.perm = part.perm;
   p.offsets = part.offsets;
   p.a = sparse::permute_symmetric(a, p.perm);

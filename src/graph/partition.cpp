@@ -44,22 +44,58 @@ std::vector<int> spread_seeds(const Adjacency& g, int n_parts,
     const LevelStructure ls = bfs_levels(g, seeds);
     int far = -1;
     int far_level = -1;
+    int unreached = -1;
     for (int v = 0; v < g.n; ++v) {
       const int l = ls.level[static_cast<std::size_t>(v)];
+      if (l < 0) {
+        if (unreached < 0) unreached = v;
+        continue;
+      }
       if (l > far_level) {
         far = v;
         far_level = l;
       }
     }
-    // Disconnected leftovers have level -1; BFS never reaches them, so the
-    // max search above still finds a valid vertex (level -1 beats nothing
-    // only if everything is reached — then fall back to any vertex).
+    // A vertex BFS never reached sits in a component no seed covers —
+    // infinitely far, so it wins over stretching a seeded component
+    // further. This is what lets k-way split a block-diagonal matrix into
+    // its components exactly (the node tier of the two-level partition).
+    if (unreached >= 0) {
+      seeds.push_back(unreached);
+      continue;
+    }
     if (far_level <= 0) {
       far = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(g.n)));
     }
     seeds.push_back(far);
   }
   return seeds;
+}
+
+/// Induced subgraph over `verts` (ascending); cross edges are dropped.
+Adjacency induced_subgraph(const Adjacency& g, const std::vector<int>& verts,
+                           const std::vector<int>& local) {
+  Adjacency s;
+  s.n = static_cast<int>(verts.size());
+  s.xadj.assign(static_cast<std::size_t>(s.n) + 1, 0);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    const int v = verts[i];
+    std::int64_t deg = 0;
+    for (const int* q = g.begin(v); q != g.end(v); ++q) {
+      if (local[static_cast<std::size_t>(*q)] >= 0) ++deg;
+    }
+    s.xadj[i + 1] = s.xadj[i] + deg;
+  }
+  s.adj.resize(static_cast<std::size_t>(s.xadj.back()));
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    const int v = verts[i];
+    std::int64_t at = s.xadj[i];
+    for (const int* q = g.begin(v); q != g.end(v); ++q) {
+      const int lq = local[static_cast<std::size_t>(*q)];
+      if (lq >= 0) s.adj[static_cast<std::size_t>(at++)] = lq;
+    }
+  }
+  return s;
 }
 
 }  // namespace
@@ -175,7 +211,7 @@ std::vector<int> kway_partition(const Adjacency& g, int n_parts,
 }
 
 Partition make_partition(const sparse::CsrMatrix& a, int n_parts,
-                         Ordering scheme, std::uint64_t seed) {
+                         Ordering scheme, std::uint64_t seed, int n_nodes) {
   CAGMRES_REQUIRE(a.n_rows == a.n_cols, "partition needs a square matrix");
   CAGMRES_REQUIRE(n_parts >= 1, "need at least one part");
   const int n = a.n_rows;
@@ -195,7 +231,41 @@ Partition make_partition(const sparse::CsrMatrix& a, int n_parts,
     }
     case Ordering::kKway: {
       const Adjacency g = build_adjacency(a);
-      const std::vector<int> part = kway_partition(g, n_parts, seed);
+      std::vector<int> part;
+      if (n_nodes > 1 && n_nodes < n_parts && n_parts % n_nodes == 0) {
+        // Two-level node-first split: k-way into node bands (so the
+        // expensive inter-node cut is minimized over the whole graph
+        // first), then each node's induced subgraph k-way into its
+        // devices. Part ids come out node-major — part d lands on node
+        // d / (n_parts / n_nodes), matching Topology::node_of — so halo
+        // edges between devices of one node stay on the peer tier.
+        // Keep the node assignment separate from the final part ids: the
+        // per-node loop writes ids 0..per-1 for node 0, which would alias
+        // later nodes' labels if it scanned the same array it rewrites.
+        const std::vector<int> node_of = kway_partition(g, n_nodes, seed);
+        part.assign(static_cast<std::size_t>(n), -1);
+        const int per = n_parts / n_nodes;
+        std::vector<int> local(static_cast<std::size_t>(n), -1);
+        for (int k = 0; k < n_nodes; ++k) {
+          std::vector<int> verts;
+          for (int v = 0; v < n; ++v) {
+            if (node_of[static_cast<std::size_t>(v)] == k) {
+              local[static_cast<std::size_t>(v)] =
+                  static_cast<int>(verts.size());
+              verts.push_back(v);
+            }
+          }
+          const Adjacency sg = induced_subgraph(g, verts, local);
+          const std::vector<int> sub = kway_partition(
+              sg, per, seed + static_cast<std::uint64_t>(k) + 1);
+          for (std::size_t i = 0; i < verts.size(); ++i) {
+            part[static_cast<std::size_t>(verts[i])] = k * per + sub[i];
+          }
+          for (const int v : verts) local[static_cast<std::size_t>(v)] = -1;
+        }
+      } else {
+        part = kway_partition(g, n_parts, seed);
+      }
       // Order vertices by part; within a part keep original order (stable),
       // which preserves whatever locality the input had.
       out.perm.reserve(static_cast<std::size_t>(n));
@@ -217,6 +287,34 @@ Partition make_partition(const sparse::CsrMatrix& a, int n_parts,
         static_cast<int>((static_cast<std::int64_t>(n) * p) / n_parts);
   }
   return out;
+}
+
+std::int64_t cross_node_edges(const sparse::CsrMatrix& a, const Partition& p,
+                              int n_nodes) {
+  CAGMRES_REQUIRE(n_nodes >= 1 && p.n_parts % n_nodes == 0,
+                  "cross_node_edges: nodes must tile the parts");
+  const int per = p.n_parts / n_nodes;
+  const int n = a.n_rows;
+  // node of each ORIGINAL row: invert the permutation through the offsets.
+  std::vector<int> node(static_cast<std::size_t>(n), 0);
+  for (int d = 0; d < p.n_parts; ++d) {
+    for (int i = p.offsets[static_cast<std::size_t>(d)];
+         i < p.offsets[static_cast<std::size_t>(d) + 1]; ++i) {
+      node[static_cast<std::size_t>(p.perm[static_cast<std::size_t>(i)])] =
+          d / per;
+    }
+  }
+  const Adjacency g = build_adjacency(a);
+  std::int64_t cut = 0;
+  for (int v = 0; v < n; ++v) {
+    for (const int* q = g.begin(v); q != g.end(v); ++q) {
+      if (*q > v &&
+          node[static_cast<std::size_t>(v)] != node[static_cast<std::size_t>(*q)]) {
+        ++cut;
+      }
+    }
+  }
+  return cut;
 }
 
 }  // namespace cagmres::graph

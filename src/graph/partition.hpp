@@ -41,8 +41,23 @@ struct Partition {
 
 /// Builds a Partition of `a` into n_parts blocks under the given scheme.
 /// `seed` feeds the KWY seed selection; natural and RCM ignore it.
+///
+/// When the parts back a multi-node Topology, pass its node count as
+/// `n_nodes`: KWY then splits node-first (k-way into n_nodes bands, each
+/// band k-way into its devices, node-major part ids), so halo edges
+/// concentrate inside nodes and as few as possible cross the inter-node
+/// link. Natural and RCM blocks are contiguous and therefore node-
+/// contiguous already; they ignore the parameter, as does a shape that
+/// does not tile (n_parts % n_nodes != 0).
 Partition make_partition(const sparse::CsrMatrix& a, int n_parts,
-                         Ordering scheme, std::uint64_t seed = 0);
+                         Ordering scheme, std::uint64_t seed = 0,
+                         int n_nodes = 1);
+
+/// Number of adjacency edges of `a` whose endpoints land on different
+/// nodes when parts are grouped node-major into n_nodes equal groups —
+/// the halo traffic that must cross the inter-node link under MPK.
+std::int64_t cross_node_edges(const sparse::CsrMatrix& a, const Partition& p,
+                              int n_nodes);
 
 /// Raw k-way partitioner on a graph: returns part[v] in [0, n_parts).
 /// Greedy balanced region growing from spread seeds followed by

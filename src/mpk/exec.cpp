@@ -18,28 +18,7 @@ void poison(double* p, int n) {
   for (int i = 0; i < n; ++i) p[i] = nan;
 }
 
-/// Multi-node routing for the halo exchange (active only when the machine
-/// topology has more than one node; flat machines skip all of this and the
-/// exchange is bitwise-identical to the single-node original).
-///
-/// Sender side: a pack message whose consumers all live on the sender's own
-/// node is combined node-locally and never crosses the network (d2h_node,
-/// intra-node rate); one with any off-node reader goes through the
-/// coordinating host as before (d2h, which prices the network hop for
-/// remote senders). `cross_send[d]` marks the latter.
-std::vector<char> cross_senders(const sim::Machine& m,
-                                const std::vector<std::vector<int>>& owners) {
-  const int ng = static_cast<int>(owners.size());
-  std::vector<char> cross(static_cast<std::size_t>(ng), 0);
-  for (int e = 0; e < ng; ++e) {
-    for (const int o : owners[static_cast<std::size_t>(e)]) {
-      if (m.node_of(o) != m.node_of(e)) cross[static_cast<std::size_t>(o)] = 1;
-    }
-  }
-  return cross;
-}
-
-/// Consumer side of the same split: bytes of device d's external slice
+/// Consumer side of the multi-node halo split: bytes of device d's external slice
 /// owned by devices on d's own node — those arrive over the intra-node
 /// link; the rest keeps the host (+network) route.
 double node_local_ext_bytes(const sim::Machine& m, int d,
@@ -76,6 +55,46 @@ MpkExecutor::MpkExecutor(const MpkPlan& plan) : plan_(&plan) {
   }
 }
 
+void MpkExecutor::build_node_split(const sim::Machine& m) {
+  const sim::Topology& topo = m.topology();
+  if (split_nodes_ == topo.n_nodes && split_gpn_ == topo.gpus_per_node) {
+    return;
+  }
+  split_nodes_ = topo.n_nodes;
+  split_gpn_ = topo.gpus_per_node;
+  const MpkPlan& plan = *plan_;
+  const int ng = plan.n_devices();
+  send_local_bytes_.assign(static_cast<std::size_t>(ng), 0.0);
+  send_cross_bytes_.assign(static_cast<std::size_t>(ng), 0.0);
+  // Distinct owned rows each sender ships to same-node vs off-node readers
+  // (2-bit marks per owned row; a row read from both sides goes in both
+  // messages). Walking every consumer's ext list once is O(plan size).
+  std::vector<std::vector<char>> mark(static_cast<std::size_t>(ng));
+  for (int o = 0; o < ng; ++o) {
+    mark[static_cast<std::size_t>(o)].assign(
+        static_cast<std::size_t>(plan.dev[static_cast<std::size_t>(o)].owned),
+        0);
+  }
+  for (int d = 0; d < ng; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    const int myn = m.node_of(d);
+    for (std::size_t e = 0; e < dp.ext_owner.size(); ++e) {
+      const int o = dp.ext_owner[e];
+      const auto r = static_cast<std::size_t>(dp.ext_owner_row[e]);
+      const char side = (m.node_of(o) == myn) ? 1 : 2;
+      char& mk = mark[static_cast<std::size_t>(o)][r];
+      if ((mk & side) == 0) {
+        mk = static_cast<char>(mk | side);
+        if (side == 1) {
+          send_local_bytes_[static_cast<std::size_t>(o)] += 8.0;
+        } else {
+          send_cross_bytes_[static_cast<std::size_t>(o)] += 8.0;
+        }
+      }
+    }
+  }
+}
+
 void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
                            int c0, int slot) {
   if (m.event_sync()) {
@@ -85,24 +104,27 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
   const MpkPlan& plan = *plan_;
   const int ng = plan.n_devices();
   const bool hier = m.topology().n_nodes > 1;
-  std::vector<char> cross;
-  if (hier) cross = cross_senders(m, ext_owners_);
+  if (hier) build_node_split(m);
 
   // Gather: each device packs the owned entries other devices need and
   // ships one message to the CPU (Fig. 4 "Setup", first loop). On a
-  // multi-node topology, messages with only same-node readers stay on the
-  // intra-node link.
+  // multi-node topology the pack splits per sender: rows read on the
+  // sender's own node go to node-host memory over the peer link, only the
+  // rows an off-node consumer reads travel through the coordinating host
+  // (and pay the network hop for remote senders).
   double gathered = 0.0;
   for (int d = 0; d < ng; ++d) {
     const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
     if (dp.send_local_rows.empty()) continue;
     sim::dev_pack(m, d, dp.send_local_rows, v.col(d, c0),
                   pack_buf_[static_cast<std::size_t>(d)].data());
-    const double bytes = 8.0 * static_cast<double>(dp.send_local_rows.size());
-    if (hier && cross[static_cast<std::size_t>(d)] == 0) {
-      m.d2h_node(d, bytes);
+    if (hier) {
+      const double lb = send_local_bytes_[static_cast<std::size_t>(d)];
+      const double cb = send_cross_bytes_[static_cast<std::size_t>(d)];
+      if (lb > 0.0) m.d2h_node(d, lb);
+      if (cb > 0.0) m.d2h(d, cb);
     } else {
-      m.d2h(d, bytes);
+      m.d2h(d, 8.0 * static_cast<double>(dp.send_local_rows.size()));
     }
     gathered += static_cast<double>(dp.send_local_rows.size());
   }
@@ -160,26 +182,43 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
   const MpkPlan& plan = *plan_;
   const int ng = plan.n_devices();
   const bool hier = m.topology().n_nodes > 1;
-  std::vector<char> cross;
-  if (hier) cross = cross_senders(m, ext_owners_);
+  if (hier) build_node_split(m);
 
-  // Gather, recording one event per sender after its pack + d2h. Same
-  // multi-node routing as the barrier path: node-internal pack messages
-  // take the intra-node link.
-  std::vector<sim::Event> packed(static_cast<std::size_t>(ng));
+  // Gather, recording one event per sender message. On a multi-node
+  // topology each sender ships the split pair from the barrier path —
+  // same-node rows over the peer link, off-node rows through the
+  // coordinating host — with an event after each, so a same-node consumer
+  // chains off the cheap intra-node message and never waits behind the
+  // sender's network hop. The intra-node message goes first: the stream is
+  // in-order, so the opposite order would price the hop into the peer
+  // event anyway.
+  std::vector<sim::Event> pk_local(static_cast<std::size_t>(ng));
+  std::vector<sim::Event> pk_cross(static_cast<std::size_t>(ng));
   for (int d = 0; d < ng; ++d) {
     const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
     if (dp.send_local_rows.empty()) continue;
     sim::dev_pack(m, d, dp.send_local_rows, v.col(d, c0),
                   pack_buf_[static_cast<std::size_t>(d)].data());
-    const double bytes = 8.0 * static_cast<double>(dp.send_local_rows.size());
-    if (hier && cross[static_cast<std::size_t>(d)] == 0) {
-      m.d2h_node(d, bytes);
+    if (hier) {
+      const double lb = send_local_bytes_[static_cast<std::size_t>(d)];
+      const double cb = send_cross_bytes_[static_cast<std::size_t>(d)];
+      if (lb > 0.0) m.d2h_node(d, lb);
+      pk_local[static_cast<std::size_t>(d)] = m.record_event(d);
+      if (cb > 0.0) m.d2h(d, cb);
+      pk_cross[static_cast<std::size_t>(d)] = m.record_event(d);
     } else {
-      m.d2h(d, bytes);
+      m.d2h(d, 8.0 * static_cast<double>(dp.send_local_rows.size()));
+      pk_local[static_cast<std::size_t>(d)] = m.record_event(d);
+      pk_cross[static_cast<std::size_t>(d)] =
+          pk_local[static_cast<std::size_t>(d)];
     }
-    packed[static_cast<std::size_t>(d)] = m.record_event(d);
   }
+  // Event a consumer on device d waits on for sender o's packed rows.
+  const auto pack_event = [&](int d, int o) -> const sim::Event& {
+    const bool same = !hier || m.node_of(o) == m.node_of(d);
+    return same ? pk_local[static_cast<std::size_t>(o)]
+                : pk_cross[static_cast<std::size_t>(o)];
+  };
 
   // Owned rows never leave their device: assemble them before the host
   // blocks on anyone, so the copy overlaps every in-flight message.
@@ -210,7 +249,7 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
     const int next = static_cast<int>(dp.ext_global.size());
     const auto& owners = ext_owners_[static_cast<std::size_t>(d)];
     for (const int o : owners) {
-      m.host_wait_event(packed[static_cast<std::size_t>(o)]);
+      m.host_wait_event(pack_event(d, o));
     }
     m.charge_host(sim::Kernel::kCopy, 0.0, 16.0 * next);
     if (hier) {
@@ -226,7 +265,7 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
     // the stream waits pin the closure behind the recorded prefix. Charged,
     // they are free: the h2d above already starts at >= every event time.
     for (const int o : owners) {
-      m.stream_wait_event(d, packed[static_cast<std::size_t>(o)]);
+      m.stream_wait_event(d, pack_event(d, o));
     }
     m.charge_device(d, sim::Kernel::kPack, 0.0, 20.0 * next);
     const bool hit = m.consume_kernel_fault(d);

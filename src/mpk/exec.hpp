@@ -57,6 +57,11 @@ class MpkExecutor {
   void exchange_events(sim::Machine& machine, const sim::DistMultiVec& v,
                        int c0, int slot);
 
+  /// Rebuilds the per-sender node split (send_local_bytes_ /
+  /// send_cross_bytes_) if the machine's topology changed since the last
+  /// exchange. No-op on a flat machine.
+  void build_node_split(const sim::Machine& machine);
+
   const MpkPlan* plan_;
   // Triple-buffered working vectors per device (pair shifts read two back).
   std::vector<std::vector<std::vector<double>>> z_;
@@ -64,6 +69,14 @@ class MpkExecutor {
   // Distinct sending devices whose packed entries device d consumes, in
   // ascending order (derived once from ext_owner; drives the event path).
   std::vector<std::vector<int>> ext_owners_;
+  // Multi-node sender split (build_node_split): bytes of each sender's
+  // packed rows read by same-node consumers (shipped d2h_node, peer tier)
+  // vs off-node consumers (shipped d2h, which prices the network hop).
+  // A row read from both sides counts in both — two honest messages.
+  std::vector<double> send_local_bytes_;
+  std::vector<double> send_cross_bytes_;
+  int split_nodes_ = 0;  ///< topology key the split was built for
+  int split_gpn_ = 0;
 };
 
 }  // namespace cagmres::mpk

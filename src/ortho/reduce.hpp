@@ -29,6 +29,18 @@ namespace cagmres::ortho::detail {
 /// counts; the cheaper charged completion is picked per reduction, so event
 /// mode never loses to the barrier here even when the per-charge fixed cost
 /// outweighs the overlap win.
+///
+/// On a multi-node topology the fold runs through a two-level tree grouped
+/// by node (node subtotals in fold order, then subtotals straggler-last —
+/// DESIGN.md §13). With Machine::hier_reduce() on, each multi-member node's
+/// subtotal is computed on a node-leader device behind intra-node peer
+/// transfers, and exactly one D2H per node crosses the inter-node link;
+/// with it off every device ships its own partial and the host folds the
+/// same tree. Both sides produce bitwise-identical results (the leader
+/// stages are busy-normalized so even the fold permutation matches); the
+/// single-node path is untouched. ev[d] then marks device d's partial
+/// leaving the device (the node leader's event covers its shipped
+/// subtotal).
 std::vector<sim::Event> reduce_to_host_events(
     sim::Machine& m, const std::vector<std::vector<double>>& partials,
     int len, double* out);
@@ -39,7 +51,9 @@ void reduce_to_host(sim::Machine& m,
                     double* out);
 
 /// Charges the broadcast of `len` doubles from the host to every device
-/// (one H2D message each) and makes subsequent device kernels wait for it.
+/// and makes subsequent device kernels wait for it. Flat: one H2D message
+/// per device. With Machine::hier_reduce() on, one inter-node H2D per node
+/// leader and intra-node relays behind its event (charge-only either way).
 void broadcast_charge(sim::Machine& m, int len);
 
 }  // namespace cagmres::ortho::detail

@@ -1,6 +1,7 @@
 #include "ortho/tsqr.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 #include "ortho/methods.hpp"
@@ -109,6 +110,205 @@ std::vector<int> fold_order(const sim::Machine& m) {
   return perm;
 }
 
+// ---- multi-node grouped fold (DESIGN.md §13) ----------------------------
+//
+// At nodes > 1 BOTH sides of the Machine::hier_reduce() knob fold through
+// the same two-level summation tree: within each node, partials are summed
+// in global fold order into a zero-initialized node subtotal; the subtotals
+// are then folded into `out` (also zero-initialized) with nodes ordered by
+// their last member's position in the fold order (straggler-last across
+// nodes). The knob only moves WHERE a subtotal is computed — on the host
+// behind ng flat messages, or on a node-leader device behind one inter-node
+// message per node — so the bits agree whichever side ran.
+
+/// Node buckets of the fold order: members of the k-th node to finish, each
+/// bucket in fold order (so .back() is that node's straggler, the leader).
+std::vector<std::vector<int>> node_buckets(const sim::Machine& m,
+                                           const std::vector<int>& perm) {
+  const auto nn = static_cast<std::size_t>(m.topology().n_nodes);
+  std::vector<std::vector<int>> buckets(nn);
+  std::vector<int> last(nn, -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const auto k = static_cast<std::size_t>(m.node_of(perm[i]));
+    buckets[k].push_back(perm[i]);
+    last[k] = static_cast<int>(i);
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t k = 0; k < nn; ++k) {
+    if (!buckets[k].empty()) ids.push_back(k);
+  }
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&last](std::size_t a, std::size_t b) {
+                     return last[a] < last[b];
+                   });
+  std::vector<std::vector<int>> out;
+  out.reserve(ids.size());
+  for (const std::size_t k : ids) out.push_back(std::move(buckets[k]));
+  return out;
+}
+
+/// One node's subtotal: zero-init + sequential member adds. The host (flat
+/// knob) and the leader-device closure (hier knob) both run exactly this.
+void node_subtotal(const std::vector<std::vector<double>>& partials,
+                   const std::vector<int>& members, int len, double* s) {
+  for (int j = 0; j < len; ++j) s[j] = 0.0;
+  for (const int d : members) {
+    const auto& p = partials[static_cast<std::size_t>(d)];
+    CAGMRES_ASSERT(static_cast<int>(p.size()) >= len, "partial too short");
+    for (int j = 0; j < len; ++j) s[j] += p[static_cast<std::size_t>(j)];
+  }
+}
+
+/// Flat-equivalent charge of shipping `bytes` between device d and the
+/// coordinating host — the busy-normalization target for peer-routed
+/// hierarchical stages (see Machine::adjust_device_busy).
+double flat_ship_seconds(const sim::Machine& m, int d, double bytes) {
+  double t = m.perf().transfer_seconds(bytes);
+  if (m.is_remote(d)) t += m.perf().net_seconds(bytes);
+  return t;
+}
+
+/// The nodes > 1 reduction, both knob settings. Hier stage 1 (per
+/// multi-member node): members peer their partials to the node's host
+/// memory, the leader stream-waits them, sums them with a charged device
+/// add, and ships the one subtotal inter-node. Stage 2: the host folds
+/// node contributions in node order, with the bulk-vs-incremental charged
+/// schedule chosen exactly like the flat path, per node group.
+std::vector<sim::Event> reduce_grouped(
+    sim::Machine& m, const std::vector<std::vector<double>>& partials,
+    int len, double* out) {
+  const bool hier = m.hier_reduce();
+  const sim::PerfModel& pm = m.perf();
+  std::vector<sim::Event> ev(static_cast<std::size_t>(m.n_devices()));
+  // The fold order is sampled at entry, before this reduction's own
+  // transfer charges land; the hierarchical stages are busy-normalized to
+  // the flat ones, so the permutation — and with it the summation tree —
+  // is identical whichever side of the knob runs.
+  const std::vector<int> perm = fold_order(m);
+  const std::vector<std::vector<int>> nodes = node_buckets(m, perm);
+  const std::size_t nn = nodes.size();
+  const double bytes = 8.0 * len;
+
+  std::vector<std::vector<double>> sums(nn);
+  std::vector<std::vector<sim::Event>> waits(nn);
+  std::vector<double> ready(nn, 0.0);  // charged time node k is foldable
+  std::vector<double> work(nn, 0.0);   // host fold flops for node k
+
+  for (std::size_t k = 0; k < nn; ++k) {
+    const std::vector<int>& mem = nodes[k];
+    sums[k].assign(static_cast<std::size_t>(len), 0.0);
+    if (hier && mem.size() > 1) {
+      const int lead = mem.back();  // the within-node straggler
+      for (std::size_t i = 0; i + 1 < mem.size(); ++i) {
+        const int d = mem[i];
+        m.d2h_node(d, bytes);
+        ev[static_cast<std::size_t>(d)] = m.record_event(d);
+        m.adjust_device_busy(
+            d, flat_ship_seconds(m, d, bytes) - pm.peer_seconds(bytes));
+      }
+      for (std::size_t i = 0; i + 1 < mem.size(); ++i) {
+        m.stream_wait_event(lead, ev[static_cast<std::size_t>(mem[i])]);
+      }
+      const double flops = static_cast<double>(len) * mem.size();
+      m.charge_device(lead, sim::Kernel::kAxpy, flops, 16.0 * flops);
+      m.adjust_device_busy(lead, -pm.device_seconds(sim::Kernel::kAxpy, flops,
+                                                    16.0 * flops));
+      const bool poison = m.consume_kernel_fault(lead);
+      double* s = sums[k].data();
+      const std::vector<int>* mp = &nodes[k];
+      m.run_on_device(lead, [&partials, mp, len, s, poison]() {
+        node_subtotal(partials, *mp, len, s);
+        if (poison) {
+          for (int j = 0; j < len; ++j) {
+            s[j] = std::numeric_limits<double>::quiet_NaN();
+          }
+        }
+      });
+      m.d2h(lead, bytes);
+      ev[static_cast<std::size_t>(lead)] = m.record_event(lead);
+      waits[k].push_back(ev[static_cast<std::size_t>(lead)]);
+      ready[k] = ev[static_cast<std::size_t>(lead)].t;
+      work[k] = static_cast<double>(len);  // out += subtotal
+    } else {
+      // Flat knob, or a single-member node: every member ships its own
+      // partial and the host computes the subtotal at fold time.
+      for (const int d : mem) {
+        m.d2h(d, bytes);
+        ev[static_cast<std::size_t>(d)] = m.record_event(d);
+        waits[k].push_back(ev[static_cast<std::size_t>(d)]);
+        ready[k] = std::max(ready[k], ev[static_cast<std::size_t>(d)].t);
+      }
+      work[k] = static_cast<double>(len) * (mem.size() + 1);
+    }
+  }
+
+  for (int j = 0; j < len; ++j) out[j] = 0.0;
+  const auto fold_node = [&](std::size_t k) {
+    const std::vector<int>& mem = nodes[k];
+    if (!(hier && mem.size() > 1)) {
+      node_subtotal(partials, mem, len, sums[k].data());
+    }
+    const double* s = sums[k].data();
+    for (int j = 0; j < len; ++j) out[j] += s[j];
+  };
+
+  if (!m.event_sync()) {
+    m.host_wait_all();
+    double tot = 0.0;
+    for (std::size_t k = 0; k < nn; ++k) {
+      fold_node(k);
+      tot += work[k];
+    }
+    m.charge_host(sim::Kernel::kAxpy, tot, 16.0 * tot);
+    return ev;
+  }
+
+  // Event mode: same bulk-vs-incremental charged-schedule choice as the
+  // flat path, over node groups instead of devices (see below).
+  double h_bulk = m.clock().host_time();
+  double tot = 0.0;
+  for (std::size_t k = 0; k < nn; ++k) {
+    h_bulk = std::max(h_bulk, ready[k]);
+    tot += work[k];
+  }
+  h_bulk += pm.host_seconds(sim::Kernel::kAxpy, tot, 16.0 * tot);
+  double h_inc = m.clock().host_time();
+  for (std::size_t i = 0; i < nn;) {
+    h_inc = std::max(h_inc, ready[i]);
+    std::size_t j = i + 1;
+    double w = work[i];
+    while (j < nn && ready[j] <= h_inc) {
+      w += work[j];
+      ++j;
+    }
+    h_inc += pm.host_seconds(sim::Kernel::kAxpy, w, 16.0 * w);
+    i = j;
+  }
+
+  if (h_inc < h_bulk) {
+    for (std::size_t i = 0; i < nn;) {
+      for (const sim::Event& e : waits[i]) m.host_wait_event(e);
+      std::size_t j = i + 1;
+      double w = work[i];
+      while (j < nn && ready[j] <= m.clock().host_time()) {
+        for (const sim::Event& e : waits[j]) m.host_wait_event(e);
+        w += work[j];
+        ++j;
+      }
+      for (std::size_t k = i; k < j; ++k) fold_node(k);
+      m.charge_host(sim::Kernel::kAxpy, w, 16.0 * w);
+      i = j;
+    }
+  } else {
+    for (std::size_t k = 0; k < nn; ++k) {
+      for (const sim::Event& e : waits[k]) m.host_wait_event(e);
+    }
+    for (std::size_t k = 0; k < nn; ++k) fold_node(k);
+    m.charge_host(sim::Kernel::kAxpy, tot, 16.0 * tot);
+  }
+  return ev;
+}
+
 }  // namespace
 
 std::vector<sim::Event> reduce_to_host_events(
@@ -117,6 +317,7 @@ std::vector<sim::Event> reduce_to_host_events(
   const int ng = m.n_devices();
   CAGMRES_ASSERT(static_cast<int>(partials.size()) == ng,
                  "partials per device");
+  if (m.topology().n_nodes > 1) return reduce_grouped(m, partials, len, out);
   std::vector<sim::Event> ev(static_cast<std::size_t>(ng));
   for (int d = 0; d < ng; ++d) {
     m.d2h(d, 8.0 * len);
@@ -202,7 +403,31 @@ void reduce_to_host(sim::Machine& m,
 }
 
 void broadcast_charge(sim::Machine& m, int len) {
-  for (int d = 0; d < m.n_devices(); ++d) m.h2d(d, 8.0 * len);
+  if (!m.hier_reduce()) {
+    for (int d = 0; d < m.n_devices(); ++d) m.h2d(d, 8.0 * len);
+    return;
+  }
+  // Hierarchical fan-out (charge-only, like the flat path — the data is in
+  // host memory either way): one inter-node h2d to a node leader, then the
+  // other members pull over the intra-node link behind the leader's event.
+  // The leader is the node's least-busy device, so the relayed copies start
+  // as early as possible. Peer-routed members are busy-normalized to the
+  // flat h2d they replace, keeping the reduce fold order knob-invariant.
+  const sim::PerfModel& pm = m.perf();
+  const double bytes = 8.0 * len;
+  const std::vector<int> perm = fold_order(m);
+  for (const std::vector<int>& mem : node_buckets(m, perm)) {
+    const int lead = mem.front();
+    m.h2d(lead, bytes);
+    const sim::Event e = m.record_event(lead);
+    for (std::size_t i = 1; i < mem.size(); ++i) {
+      const int d = mem[i];
+      m.stream_wait_event(d, e);
+      m.h2d_node(d, bytes);
+      m.adjust_device_busy(
+          d, flat_ship_seconds(m, d, bytes) - pm.peer_seconds(bytes));
+    }
+  }
 }
 
 }  // namespace detail

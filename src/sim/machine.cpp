@@ -37,6 +37,17 @@ SyncMode default_sync_mode() {
 /// silently ignored — the same binary drives machines of many sizes, and a
 /// 2x4 request must not blow up the 3-device paper testbed. Machines built
 /// from an explicit Topology are never overridden.
+/// Hierarchical-collectives default for new machines: on (it charges
+/// strictly less on deep shapes and is bitwise identical);
+/// CAGMRES_HIER_REDUCE=0|flat|off restores the flat per-device fold as an
+/// escape hatch. Only consulted on multi-node topologies.
+bool default_hier_reduce() {
+  const char* s = std::getenv("CAGMRES_HIER_REDUCE");
+  if (s == nullptr || *s == '\0') return true;
+  const std::string v(s);
+  return !(v == "0" || v == "flat" || v == "off");
+}
+
 Topology default_topology(int n_devices) {
   const Topology flat{1, n_devices};
   const char* s = std::getenv("CAGMRES_TOPOLOGY");
@@ -98,6 +109,7 @@ Machine::Machine(int n_devices, PerfModel model)
       dev_ops_(static_cast<std::size_t>(n_devices), 0),
       dev_busy_(static_cast<std::size_t>(n_devices), 0.0),
       dev_poison_(static_cast<std::size_t>(n_devices), 0),
+      hier_reduce_(default_hier_reduce()),
       sync_mode_(default_sync_mode()),
       pool_(n_devices, default_host_workers(n_devices)) {
   dev_map_.resize(static_cast<std::size_t>(n_devices));
@@ -113,6 +125,7 @@ Machine::Machine(Topology topology, PerfModel model)
       dev_ops_(static_cast<std::size_t>(topology.n_devices()), 0),
       dev_busy_(static_cast<std::size_t>(topology.n_devices()), 0.0),
       dev_poison_(static_cast<std::size_t>(topology.n_devices()), 0),
+      hier_reduce_(default_hier_reduce()),
       sync_mode_(default_sync_mode()),
       pool_(topology.n_devices(),
             default_host_workers(topology.n_devices())) {
@@ -321,17 +334,30 @@ void Machine::charge_transfer(int d, double bytes, bool to_device,
   }
   double resend = node_local ? model_.peer_seconds(bytes)
                              : model_.transfer_seconds(bytes);
+  double queue = 0.0;
   if (cross_net) {
-    resend += model_.net_seconds(bytes);
+    // The network hop serializes on the coordinating host's NIC: the
+    // message reaches the wire once its PCIe stage (plus any injected
+    // stall) completes, then waits for the link direction to free up.
+    // Charging runs on the main thread in program order, so the queue is
+    // deterministic for any sync mode or worker count.
+    const double net = model_.net_seconds(bytes);
+    const double ready = clock_.device_time(p) + resend + stall;
+    double& link = net_free_[to_device ? 1 : 0];
+    const double start = std::max(ready, link);
+    queue = start - ready;
+    link = start + net;
+    resend += net;
     counters_.net_bytes += bytes;
     ++counters_.net_msgs;
   }
-  const double t = resend + stall;
+  const double t = resend + stall + queue;
   clock_.async_transfer(p, t);
-  // Busy excludes the injected stall (and the retries below): latency-only
-  // faults must not perturb the reduce fold order, or "identical numerics,
-  // strictly more time" would stop holding under injection.
-  dev_busy_[static_cast<std::size_t>(p)] += t - stall;
+  // Busy excludes the injected stall, the NIC queue wait, and the retries
+  // below: latency-only faults and contention (both of which depend on
+  // mode-sensitive timestamps) must not perturb the reduce fold order, or
+  // "identical numerics, strictly more time" would stop holding.
+  dev_busy_[static_cast<std::size_t>(p)] += resend;
   if (tracing_) {
     trace_.record(p, clock_.device_time(p) - t, clock_.device_time(p), name,
                   phase_);
@@ -367,6 +393,20 @@ void Machine::d2h_node(int d, double bytes) {
 
 void Machine::h2d_node(int d, double bytes) {
   charge_transfer(d, bytes, true, true, "h2d_node", "retry:h2d_node");
+}
+
+double Machine::nic_dma(double bytes, double ready_s) {
+  // Node-host to node-host DMA: queues on the into-host NIC direction like
+  // a d2h network hop, but no device stream carries it — the caller holds
+  // the arrival time (typically inside an Event) and charges any wait
+  // itself. No fault polls: link faults are scoped to device-addressed
+  // messages, and the mirror client re-validates on restore.
+  const double net = model_.net_seconds(bytes);
+  const double start = std::max(ready_s, net_free_[0]);
+  net_free_[0] = start + net;
+  counters_.net_bytes += bytes;
+  ++counters_.net_msgs;
+  return start + net;
 }
 
 Event Machine::record_event(int d) {
@@ -417,6 +457,7 @@ void Machine::reset() {
   std::fill(dev_ops_.begin(), dev_ops_.end(), 0);
   std::fill(dev_busy_.begin(), dev_busy_.end(), 0.0);
   std::fill(dev_poison_.begin(), dev_poison_.end(), 0);
+  net_free_[0] = net_free_[1] = 0.0;
   phase_mark_ = 0.0;
 }
 

@@ -64,9 +64,10 @@ struct Counters {
 /// Multi-node topology for the paper-§VII projection: `n_nodes` compute
 /// nodes with `gpus_per_node` devices each. Devices on node 0 talk to the
 /// coordinating host over PCIe only; devices on other nodes pay an
-/// additional network hop per message (flat-MPI model — each remote device
-/// contribution is its own message; hierarchical per-node combining is a
-/// possible refinement, see DESIGN.md).
+/// additional network hop per message, and all network hops serialize on
+/// the coordinating host's NIC (one in-flight message per direction).
+/// Collectives fold intra-node first when hier_reduce() is on — one
+/// inter-node message per node instead of one per device (DESIGN.md §13).
 struct Topology {
   int n_nodes = 1;
   int gpus_per_node = 1;
@@ -169,6 +170,14 @@ class Machine {
   void d2h_node(int d, double bytes);
   void h2d_node(int d, double bytes);
 
+  /// Charges an inter-node NIC DMA of `bytes` out of node-host memory that
+  /// becomes ready no earlier than `ready_s`: the message queues on the
+  /// coordinating host's NIC (device->host direction) like any cross-node
+  /// transfer and bumps the net byte/msg counters, but occupies no device
+  /// stream. Returns the simulated arrival time. The checkpoint partner
+  /// mirror is the client (DESIGN.md §12-§13).
+  double nic_dma(double bytes, double ready_s);
+
   /// Host blocks until device d (and its copy queue) is done. Advances the
   /// simulated host clock AND drains device d's real work stream, so any
   /// enqueued kernel bodies have finished before host code reads the data.
@@ -197,6 +206,16 @@ class Machine {
   /// Shorthand for the call sites that branch on the mode.
   bool event_sync() const { return sync_mode_ == SyncMode::kEvent; }
 
+  /// Hierarchical collectives knob: when true (the default) AND the
+  /// topology is multi-node, reductions fold intra-node on a node-leader
+  /// device and broadcasts fan out through one, so at most one message per
+  /// node crosses the network (DESIGN.md §13). Results are bitwise
+  /// identical to the flat fold either way; only the charged communication
+  /// schedule differs. CAGMRES_HIER_REDUCE=0|flat|off disables it at
+  /// construction; single-node machines always take the flat path.
+  bool hier_reduce() const { return hier_reduce_ && topo_.n_nodes > 1; }
+  void set_hier_reduce(bool on) { hier_reduce_ = on; }
+
   /// Records an event on logical device d's stream after everything posted
   /// to it so far (cudaEventRecord analogue). Pure observation: charges
   /// nothing and never faults.
@@ -212,6 +231,17 @@ class Machine {
   /// order ever depending on mode-sensitive timestamps.
   double device_busy(int d) const {
     return dev_busy_[static_cast<std::size_t>(physical_device(d))];
+  }
+
+  /// Normalization hook for charge paths that substitute a hierarchical
+  /// operation for a flat-equivalent one (the two-stage reduce/broadcast):
+  /// adds `delta` to device d's busy account — clock and counters are
+  /// untouched — so the fold-order permutation stays keyed on the
+  /// flat-equivalent charge sequence and is identical whichever side of
+  /// the hier_reduce() knob ran. Same rationale as the stall exclusion in
+  /// charge_transfer: busy is an ordering key, not a timing.
+  void adjust_device_busy(int d, double delta) {
+    dev_busy_[static_cast<std::size_t>(physical_device(d))] += delta;
   }
 
   /// Device d's next op cannot start before the event (cudaStreamWaitEvent
@@ -366,6 +396,11 @@ class Machine {
   std::vector<std::int64_t> dev_ops_;     ///< per-physical op counter
   std::vector<double> dev_busy_;          ///< per-physical charged seconds
   std::vector<char> dev_poison_;          ///< per-physical NaN latch
+  /// Coordinating-host NIC: time each link direction frees up
+  /// ([0] = into the host / d2h + DMA, [1] = out of the host / h2d).
+  /// Cross-network messages queue here; see charge_transfer.
+  double net_free_[2] = {0.0, 0.0};
+  bool hier_reduce_;  ///< hierarchical-collectives knob (see hier_reduce())
   bool tracing_ = false;
   SyncMode sync_mode_;
   std::string phase_ = "other";

@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/cagmres.hpp"
+#include "core/gmres.hpp"
 #include "core/pipelined.hpp"
 #include "core/solver_common.hpp"
 #include "graph/partition.hpp"
@@ -389,6 +390,62 @@ TEST(Topology, ZeroFaultSolveIsByteIdenticalAcrossModesAndWorkers) {
   EXPECT_EQ(results[0].x, results[2].x);
   EXPECT_EQ(results[0].stats.iterations, results[2].stats.iterations);
   EXPECT_LE(results[2].stats.time_total, results[0].stats.time_total);
+}
+
+TEST(HierReduce, SolversByteIdenticalAcrossKnobModeWorkersAndShapes) {
+  // The hierarchical two-stage collectives (DESIGN §13) only move charges,
+  // never bits: for GMRES and CA-GMRES, at 2x2 and 2x4, x must match
+  // bitwise across {flat, hier} x {barrier, event} x {0, 2 workers} — the
+  // grouped fold tree is a pure function of the charge sequence, and the
+  // leader stages are busy-normalized so even the fold permutation is
+  // knob-invariant. At the deeper shape the hierarchical fold must also
+  // charge less: that is the whole point of shipping one message per node.
+  const auto a = sparse::make_laplace3d(10, 10, 10, 0.05);
+  const std::vector<double> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const std::pair<int, int> shapes[] = {{2, 2}, {2, 4}};
+  for (const auto& [nodes, gpn] : shapes) {
+    const int ng = nodes * gpn;
+    const core::Problem p =
+        core::make_problem(a, b, ng, graph::Ordering::kKway, true, 3, nodes);
+    core::SolverOptions opts;
+    opts.m = 20;
+    opts.s = 4;
+    opts.tol = 1e-8;
+    opts.max_restarts = 6;
+    for (const bool ca : {false, true}) {
+      std::vector<double> x0;
+      bool first = true;
+      double flat_event = 0.0, hier_event = 0.0;
+      for (const bool hier : {false, true}) {
+        for (const SyncMode mode : {SyncMode::kBarrier, SyncMode::kEvent}) {
+          for (const int workers : {0, 2}) {
+            Machine m(Topology{nodes, gpn});
+            m.set_hier_reduce(hier);
+            m.set_sync_mode(mode);
+            m.set_host_workers(workers);
+            const core::SolveResult r = ca ? core::ca_gmres(m, p, opts)
+                                           : core::gmres(m, p, opts);
+            if (first) {
+              x0 = r.x;
+              first = false;
+            } else {
+              EXPECT_EQ(r.x, x0)
+                  << (ca ? "ca_gmres" : "gmres") << " " << nodes << "x" << gpn
+                  << " hier=" << hier << " event="
+                  << (mode == SyncMode::kEvent) << " workers=" << workers;
+            }
+            if (mode == SyncMode::kEvent && workers == 0) {
+              (hier ? hier_event : flat_event) = m.clock().elapsed();
+            }
+          }
+        }
+      }
+      if (gpn >= 4) {
+        EXPECT_LT(hier_event, flat_event)
+            << (ca ? "ca_gmres" : "gmres") << " at " << nodes << "x" << gpn;
+      }
+    }
+  }
 }
 
 TEST(DeviceBlas, ReductionPatternTiming) {
