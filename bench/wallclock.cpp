@@ -436,6 +436,68 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- compress: transfer codec layer (DESIGN.md §14) --------------------
+  // The deep 4x4 shape solved with no codec, fp32 demotion on every class,
+  // and FRSZ2:16 on the bandwidth-heavy classes. The coded runs carry REAL
+  // quantized numerics, so iterations may move; the win is charged seconds
+  // and per-tier wire bytes.
+  struct CompressRow {
+    std::string codec;
+    double sim_seconds = 0.0;
+    double net_bytes = 0.0, net_logical = 0.0;
+    double peer_bytes = 0.0, peer_logical = 0.0;
+    double pcie_bytes = 0.0, pcie_logical = 0.0;
+    int iterations = 0;
+    int restarts = 0;
+    bool converged = false;
+  };
+  std::vector<CompressRow> compress_rows;
+  {
+    const int cng = smoke ? 8 : 16;
+    const int cnodes = smoke ? 2 : 4;
+    const core::Problem pc = core::make_problem(
+        a, b, cng, graph::parse_ordering(oname), true, 7, cnodes);
+    std::printf("\n  compress (transfer codecs, ng=%d %dx%d):\n", cng, cnodes,
+                cng / cnodes);
+    for (const char* spec :
+         {"none", "halo=fp32,reduce=fp32,ckpt=fp32",
+          "halo=frsz2:16,reduce=frsz2:16"}) {
+      sim::Machine mc(cng);
+      mc.set_topology(cnodes, cng / cnodes);
+      const sim::CodecConfig cfg = sim::parse_codec_config(
+          std::string(spec) == "none" ? "" : spec);
+      mc.set_codec(sim::TrafficClass::kHalo, cfg.halo);
+      mc.set_codec(sim::TrafficClass::kReduce, cfg.reduce);
+      mc.set_codec(sim::TrafficClass::kCkpt, cfg.ckpt);
+      core::SolverOptions so = sopts;
+      so.s = smoke ? 5 : opts.get_int("s");
+      const core::SolveResult rc = core::ca_gmres(mc, pc, so);
+      CompressRow cr;
+      cr.codec = spec;
+      cr.sim_seconds = rc.stats.time_total;
+      const sim::Counters& cc = mc.counters();
+      cr.net_bytes = cc.net_bytes;
+      cr.net_logical = cc.net_logical_bytes;
+      cr.peer_bytes = cc.peer_bytes;
+      cr.peer_logical = cc.peer_logical_bytes;
+      cr.pcie_bytes = cc.d2h_bytes + cc.h2d_bytes;
+      cr.pcie_logical = cc.d2h_logical_bytes + cc.h2d_logical_bytes;
+      cr.iterations = rc.stats.iterations;
+      cr.restarts = rc.stats.restarts;
+      cr.converged = rc.stats.converged;
+      compress_rows.push_back(cr);
+      const auto ratio = [](double logical, double wire) {
+        return (wire > 0.0 && logical > 0.0) ? logical / wire : 1.0;
+      };
+      std::printf(
+          "    %-30s sim=%9.4fs  net=%10.3g B (x%.2f)  pcie=%10.3g B "
+          "(x%.2f)  it=%d%s\n",
+          spec, cr.sim_seconds, cr.net_bytes, ratio(cr.net_logical,
+          cr.net_bytes), cr.pcie_bytes, ratio(cr.pcie_logical, cr.pcie_bytes),
+          cr.iterations, cr.converged ? "" : " (nc)");
+    }
+  }
+
   // --- microbench: blocked vs naive, single thread -----------------------
 #ifdef _OPENMP
   omp_set_num_threads(1);
@@ -565,6 +627,21 @@ int main(int argc, char** argv) {
         << ", \"partner_cheaper\": "
         << json_bool(rp.sim_seconds < rh.sim_seconds) << "}"
         << (i + 2 < kill_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"compress\": [\n";
+  for (std::size_t i = 0; i < compress_rows.size(); ++i) {
+    const auto& r = compress_rows[i];
+    out << "    {\"codec\": \"" << r.codec << "\", \"sim_seconds\": "
+        << r.sim_seconds << ", \"net_bytes\": " << r.net_bytes
+        << ", \"net_logical_bytes\": " << r.net_logical
+        << ", \"peer_bytes\": " << r.peer_bytes
+        << ", \"peer_logical_bytes\": " << r.peer_logical
+        << ", \"pcie_bytes\": " << r.pcie_bytes
+        << ", \"pcie_logical_bytes\": " << r.pcie_logical
+        << ", \"iterations\": " << r.iterations << ", \"restarts\": "
+        << r.restarts << ", \"converged\": " << json_bool(r.converged)
+        << "}" << (i + 1 < compress_rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"gram_microbench\": {\n";

@@ -138,13 +138,28 @@ int main(int argc, char** argv) {
   }
 
   // Where communication went, by interconnect tier (also emitted into the
-  // trace as one "traffic:..." instant per restart on the host row).
+  // trace as one "traffic:..." instant per restart on the host row). With a
+  // transfer codec armed (CAGMRES_COMPRESS) the achieved per-tier
+  // compression ratio rides along.
   const auto& tt = res.stats.traffic;
-  std::printf("traffic: peer %.1f KB / %lld msgs, pcie %.1f KB / %lld msgs, "
-              "net %.1f KB / %lld msgs\n\n",
-              tt.peer_bytes / 1024.0, static_cast<long long>(tt.peer_msgs),
-              tt.pcie_bytes / 1024.0, static_cast<long long>(tt.pcie_msgs),
-              tt.net_bytes / 1024.0, static_cast<long long>(tt.net_msgs));
+  if (tt.compressed()) {
+    std::printf(
+        "traffic: peer %.1f KB / %lld msgs (x%.2f), pcie %.1f KB / %lld "
+        "msgs (x%.2f), net %.1f KB / %lld msgs (x%.2f)\n",
+        tt.peer_bytes / 1024.0, static_cast<long long>(tt.peer_msgs),
+        tt.peer_ratio(), tt.pcie_bytes / 1024.0,
+        static_cast<long long>(tt.pcie_msgs), tt.pcie_ratio(),
+        tt.net_bytes / 1024.0, static_cast<long long>(tt.net_msgs),
+        tt.net_ratio());
+    std::printf("codec: %s\n\n", machine.codec_config().to_string().c_str());
+  } else {
+    std::printf(
+        "traffic: peer %.1f KB / %lld msgs, pcie %.1f KB / %lld msgs, "
+        "net %.1f KB / %lld msgs\n\n",
+        tt.peer_bytes / 1024.0, static_cast<long long>(tt.peer_msgs),
+        tt.pcie_bytes / 1024.0, static_cast<long long>(tt.pcie_msgs),
+        tt.net_bytes / 1024.0, static_cast<long long>(tt.net_msgs));
+  }
 
   // Per-kernel-class breakdown of the device work (the counters behind the
   // trace): effective rate = flops / simulated kernel time.

@@ -16,7 +16,13 @@
 #               two-stage fold must charge strictly less than the flat
 #               per-device fold at every ng >= 16 shape, send at most one
 #               inter-node message per node per reduction, and match the
-#               flat results bitwise.
+#               flat results bitwise. The compress section gates on every
+#               coded run shipping strictly fewer net bytes than the
+#               uncoded one while staying within the convergence health
+#               budget (a coded run may not unconverge a converging shape).
+#               A JSON missing a section (e.g. an older baseline written
+#               before that section existed) only warns; the remaining
+#               gates still run.
 #
 # Note: the worker-sweep speedup needs real cores. On a single-core machine
 # the sweep still runs (and still checks result identity across worker
@@ -49,29 +55,38 @@ if [[ "$compare" == 1 ]]; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
+
+def warn_missing(name):
+    # Older baselines predate some sections; a missing one is a warning,
+    # not a gate failure, so comparisons against old JSONs keep working.
+    print(f"compare WARNING: JSON has no {name} section (old baseline?)")
+
 ov = doc.get("event_overlap")
 if not ov:
-    sys.exit("compare: JSON has no event_overlap section")
-if not ov.get("identical_results"):
+    warn_missing("event_overlap")
+    ov = None
+if ov and not ov.get("identical_results"):
     sys.exit(f"compare: event and barrier modes produced different x: {ov}")
-barrier = ov["barrier_sim_seconds"]
-event = ov["event_sim_seconds"]
-if event > barrier:
-    sys.exit(
-        "compare: event-sync charged time lost to barrier-sync: "
-        f"{event:.6f}s vs {barrier:.6f}s"
+if ov:
+    barrier = ov["barrier_sim_seconds"]
+    event = ov["event_sim_seconds"]
+    if event > barrier:
+        sys.exit(
+            "compare: event-sync charged time lost to barrier-sync: "
+            f"{event:.6f}s vs {barrier:.6f}s"
+        )
+    print(
+        f"compare OK: barrier {barrier:.6f}s, event {event:.6f}s "
+        f"(speedup {barrier / event:.4f}x, results identical)"
     )
-print(
-    f"compare OK: barrier {barrier:.6f}s, event {event:.6f}s "
-    f"(speedup {barrier / event:.4f}x, results identical)"
-)
 
 sweep = doc.get("scale_sweep")
 if not sweep:
-    sys.exit("compare: JSON has no scale_sweep section")
+    warn_missing("scale_sweep")
 kills = doc.get("node_kill_recovery")
 if kills is None:
-    sys.exit("compare: JSON has no node_kill_recovery section")
+    warn_missing("node_kill_recovery")
+    kills = []
 for row in kills:
     # Convergence is not gated: g3_circuit runs out its iteration budget at
     # full size with or without faults (see ROADMAP's preconditioning item).
@@ -89,11 +104,13 @@ for row in kills:
         f"{row['host_sim_seconds']:.6f}s "
         f"(partner_cheaper={row['partner_cheaper']})"
     )
-print(f"compare OK: scale_sweep covers {len(sweep)} (ng, nodes) points")
+if sweep:
+    print(f"compare OK: scale_sweep covers {len(sweep)} (ng, nodes) points")
 
 hier = doc.get("hier_reduce")
 if not hier:
-    sys.exit("compare: JSON has no hier_reduce section")
+    warn_missing("hier_reduce")
+    hier = []
 for row in hier:
     if not row.get("identical_results"):
         sys.exit(f"compare: hier and flat folds produced different x: {row}")
@@ -115,6 +132,38 @@ for row in hier:
         f"(speedup {row['speedup']:.4f}x, "
         f"reduction net msgs {row['flat_reduction_net_msgs']} -> "
         f"{row['hier_reduction_net_msgs']})"
+    )
+
+comp = doc.get("compress")
+if not comp:
+    warn_missing("compress")
+    comp = []
+base = next((r for r in comp if r["codec"] == "none"), None)
+if comp and base is None:
+    sys.exit("compare: compress section has no uncoded baseline row")
+for row in comp:
+    if row is base:
+        continue
+    # Every coded run must ship strictly fewer bytes over the inter-node
+    # network than the uncoded baseline...
+    if row["net_bytes"] >= base["net_bytes"]:
+        sys.exit(
+            f"compare: codec '{row['codec']}' did not shrink net bytes: "
+            f"{row['net_bytes']:.0f} vs {base['net_bytes']:.0f}"
+        )
+    # ...and stay within the convergence health budget: quantized wires may
+    # cost extra restarts, but may not unconverge a converging shape.
+    if base["converged"] and not row["converged"]:
+        sys.exit(
+            f"compare: codec '{row['codec']}' broke convergence "
+            f"(baseline converged, coded run did not)"
+        )
+    print(
+        f"compare OK: codec '{row['codec']}' net bytes "
+        f"{base['net_bytes']:.3g} -> {row['net_bytes']:.3g} "
+        f"(x{base['net_bytes'] / row['net_bytes']:.2f}), "
+        f"sim {base['sim_seconds']:.6f}s -> {row['sim_seconds']:.6f}s, "
+        f"iterations {base['iterations']} -> {row['iterations']}"
     )
 EOF
 fi

@@ -2,8 +2,10 @@
 # Full local gate: the tier-1 suite under the default preset, the
 # sanitize-labeled suites rebuilt and rerun under asan-ubsan, and the
 # tsan-labeled suites (the host execution engine's concurrency tests) under
-# thread sanitizer with the worker pool active. Run from anywhere;
-# everything happens relative to the repo root.
+# thread sanitizer with the worker pool active. Escape-hatch reruns cover
+# the barrier sync mode, a forced 2-node topology, and the compressed-wire
+# codec layer (CAGMRES_COMPRESS). Run from anywhere; everything happens
+# relative to the repo root.
 #
 #   --bench-smoke   additionally run the wall-clock bench at tiny sizes and
 #                   fail unless it produces well-formed BENCH_wallclock.json
@@ -64,6 +66,17 @@ CAGMRES_TOPOLOGY=2 CAGMRES_HOST_WORKERS=2 \
   ctest --preset tsan -R '^(ortho_test|mpk_test)$' -j
 
 echo
+echo "== compressed-wire escape hatch: mpk/ortho/fault suites, CAGMRES_COMPRESS =="
+# Arm the transfer codec layer (DESIGN §14) on the suites that drive the
+# halo exchange, the reduction tree, and the checkpoint/recovery paths, so
+# the quantized wire formats keep CI coverage under the default build and
+# under tsan (codec passes run on device streams the worker pool drains).
+CAGMRES_COMPRESS=halo=fp32,reduce=fp32 CAGMRES_HOST_WORKERS=2 \
+  ctest --preset default -R '^(mpk_test|ortho_test|faults_test)$' -j
+CAGMRES_COMPRESS=halo=fp32,reduce=fp32 CAGMRES_HOST_WORKERS=2 \
+  ctest --preset tsan -j
+
+echo
 echo "== chaos gate: 64-schedule campaign, both sync modes, default build =="
 # The invariant oracle (DESIGN §11): every randomized fault schedule must
 # end converged, cleanly errored, or watchdog-tripped, replay bit-identically,
@@ -76,6 +89,14 @@ echo "== chaos gate: 64-schedule multi-node campaign (--nodes=2) =="
 # corrupt storms) against the hierarchical partner-checkpoint recovery
 # ladder (DESIGN §12).
 ./build/tools/chaos --schedules=64 --seed=7 --modes=both --nodes=2
+
+echo
+echo "== chaos gate: 64-schedule multi-node campaign with compressed wires =="
+# The invariant oracle must hold with quantized transfers armed: codec
+# passes reprice every retransmission and shrink every checkpoint shard,
+# and none of that may open a window the fault schedules can exploit.
+CAGMRES_COMPRESS=halo=fp32,reduce=fp32 \
+  ./build/tools/chaos --schedules=64 --seed=7 --modes=both --nodes=2
 
 if [[ "$chaos_smoke" == 1 ]]; then
   echo
@@ -96,7 +117,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 for key in ("solver_sweep", "event_overlap", "scale_sweep", "hier_reduce",
-            "node_kill_recovery", "gram_microbench", "nproc"):
+            "node_kill_recovery", "compress", "gram_microbench", "nproc"):
     if key not in doc:
         sys.exit(f"bench smoke: JSON missing key {key!r}")
 if not doc["solver_sweep"]:

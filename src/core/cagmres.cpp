@@ -90,6 +90,10 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   const sim::Counters ctr0 = machine.counters();
   // Per-restart tier-traffic trace instants diff against this snapshot.
   sim::Counters ctr_last = ctr0;
+  if (machine.codec_config().any_active()) {
+    machine.trace_instant("codec:" + machine.codec_config().to_string(),
+                          "other");
+  }
   std::vector<int> rows = problem.rows_per_device();
 
   // Owned repartitioned copy after a device loss; `prob` always points at

@@ -58,25 +58,34 @@ void update_solution(sim::Machine& m, sim::DistMultiVec& v, int k,
                      const std::vector<double>& y, sim::DistMultiVec& xwork) {
   CAGMRES_REQUIRE(static_cast<int>(y.size()) >= k, "short LS solution");
   if (k == 0) return;
-  ortho::detail::broadcast_charge(m, k);
+  // Broadcast the (possibly codec-quantized) wire image of y; the devices
+  // accumulate exactly the coefficients that crossed the wire.
+  std::vector<double> yq(y.begin(), y.begin() + k);
+  ortho::detail::broadcast_charge(m, k, yq.data());
   for (int d = 0; d < m.n_devices(); ++d) {
     sim::dev_gemv_n_acc(m, d, v.local_rows(d), k, v.col(d, 0),
-                        v.local(d).ld(), y.data(), xwork.col(d, 0));
+                        v.local(d).ld(), yq.data(), xwork.col(d, 0));
   }
 }
 
 std::vector<double> checkpoint_x(sim::Machine& m,
                                  const sim::DistMultiVec& xwork) {
   m.sync();  // wall-clock only: the host reads xwork below
+  const sim::CodecSpec& cd = m.codec(sim::TrafficClass::kCkpt);
   std::vector<double> x;
   x.reserve(static_cast<std::size_t>(xwork.total_rows()));
   for (int d = 0; d < m.n_devices(); ++d) {
     const int rows = xwork.local_rows(d);
-    m.d2h(d, 8.0 * rows);
+    m.charge_codec(d, cd, rows);
+    m.d2h(d, cd.wire_bytes(rows), 8.0 * rows);
     const double* p = xwork.col(d, 0);
     x.insert(x.end(), p, p + rows);
   }
   m.host_wait_all();
+  // The checkpoint holds the decoded wire image. The ckpt codec is
+  // restricted to idempotent demotion (Machine::set_codec), so restore
+  // re-ships these exact bits and a save→restore→save cycle is stable.
+  if (cd.active()) cd.roundtrip(x.data(), static_cast<int>(x.size()));
   return x;
 }
 
@@ -85,10 +94,14 @@ void restore_x(sim::Machine& m, sim::DistMultiVec& xwork,
   CAGMRES_REQUIRE(static_cast<int>(x.size()) == xwork.total_rows(),
                   "checkpoint size mismatch");
   m.sync();  // wall-clock only: the host writes xwork below
+  const sim::CodecSpec& cd = m.codec(sim::TrafficClass::kCkpt);
   std::size_t at = 0;
   for (int d = 0; d < m.n_devices(); ++d) {
     const int rows = xwork.local_rows(d);
-    m.h2d(d, 8.0 * rows);
+    // The checkpoint already holds decoded wire values (see checkpoint_x),
+    // so the restore ships the same coded image and decodes to those bits.
+    m.h2d(d, cd.wire_bytes(rows), 8.0 * rows);
+    m.charge_codec(d, cd, rows);
     double* p = xwork.col(d, 0);
     for (int i = 0; i < rows; ++i) p[static_cast<std::size_t>(i)] = x[at++];
   }
@@ -127,7 +140,9 @@ CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
                           partial[static_cast<std::size_t>(d)].data());
         }
         ortho::detail::reduce_to_host(m, partial, k, coeff.data());
-        ortho::detail::broadcast_charge(m, k);
+        // Broadcast may quantize the coefficients in place; the device
+        // update and the H column below both read the wire image.
+        ortho::detail::broadcast_charge(m, k, coeff.data());
         for (int d = 0; d < ng; ++d) {
           sim::dev_gemv_n_sub(m, d, v.local_rows(d), k, v.col(d, 0),
                               v.local(d).ld(), coeff.data(), v.col(d, k));
@@ -143,8 +158,10 @@ CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
           }
           double r = 0.0;
           ortho::detail::reduce_to_host(m, partial, 1, &r);
+          // Record r after the broadcast so H holds the coefficient the
+          // devices actually subtract (broadcast may quantize in place).
+          ortho::detail::broadcast_charge(m, 1, &r);
           out.h(l, j) = r;
-          ortho::detail::broadcast_charge(m, 1);
           for (int d = 0; d < ng; ++d) {
             sim::dev_axpy(m, d, v.local_rows(d), -r, v.col(d, l), v.col(d, k));
           }
@@ -172,8 +189,8 @@ CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
       break;
     }
     if (!column_ok) break;  // persistent poison: keep the clean prefix
-    out.h(k, j) = nrm;
     if (nrm <= 1e-300) {  // happy breakdown: subspace is invariant
+      out.h(k, j) = nrm;
       out.k = j + 1;
       // Column j of H is complete with h(k, j) = 0; append and stop.
       std::vector<double> col(static_cast<std::size_t>(k) + 1);
@@ -181,7 +198,10 @@ CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
       out.ls_residual = ls.append_column(col.data());
       break;
     }
-    ortho::detail::broadcast_charge(m, 1);
+    // Broadcast first (may quantize nrm), then record: H and the device
+    // scaling must agree on the same wire value.
+    ortho::detail::broadcast_charge(m, 1, &nrm);
+    out.h(k, j) = nrm;
     for (int d = 0; d < ng; ++d) {
       sim::dev_scal(m, d, v.local_rows(d), 1.0 / nrm, v.col(d, k));
     }
@@ -227,6 +247,10 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   const sim::Counters ctr0 = machine.counters();
   // Per-restart tier-traffic trace instants diff against this snapshot.
   sim::Counters ctr_last = ctr0;
+  if (machine.codec_config().any_active()) {
+    machine.trace_instant("codec:" + machine.codec_config().to_string(),
+                          "other");
+  }
   std::vector<int> rows = problem.rows_per_device();
 
   // Owned repartitioned copy after a device loss; `prob` always points at

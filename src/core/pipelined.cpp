@@ -40,6 +40,14 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
   const sim::Counters ctr0 = machine.counters();
   // Per-restart tier-traffic trace instants diff against this snapshot.
   sim::Counters ctr_last = ctr0;
+  if (machine.codec_config().any_active()) {
+    machine.trace_instant("codec:" + machine.codec_config().to_string(),
+                          "other");
+  }
+  // The fused reduction below is hand-rolled (raw d2h per device), so the
+  // reduce-class codec is applied here directly: encode on the device,
+  // wire-priced ship, decode at the host fold.
+  const sim::CodecSpec& rcd = machine.codec(sim::TrafficClass::kReduce);
 
   // --- numerical health monitor (core/health.hpp) ---
   // The pipelined recurrence is fixed by construction (CGS-style fused
@@ -130,7 +138,8 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
                         v.local(d).ld(), z.col(d, j), p.data());
         p[static_cast<std::size_t>(prev)] = sim::dev_dot(
             machine, d, v.local_rows(d), z.col(d, j), z.col(d, j));
-        machine.d2h(d, 8.0 * (prev + 1));
+        machine.charge_codec(d, rcd, prev + 1);
+        machine.d2h(d, rcd.wire_bytes(prev + 1), 8.0 * (prev + 1));
         if (machine.event_sync()) red_ev[static_cast<std::size_t>(d)] =
             machine.record_event(d);
       }
@@ -161,6 +170,13 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
                             static_cast<double>(prev + 1) * ng,
                             16.0 * (prev + 1) * ng);
       }
+      // Fold the decoded wire images of the partials (partial[] is fully
+      // rewritten next iteration, so quantizing in place is safe).
+      if (rcd.active()) {
+        for (int d = 0; d < ng; ++d) {
+          rcd.roundtrip(partial[static_cast<std::size_t>(d)].data(), prev + 1);
+        }
+      }
       for (int i = 0; i <= prev; ++i) {
         coeff[static_cast<std::size_t>(i)] = 0.0;
         for (int d = 0; d < ng; ++d) {
@@ -168,6 +184,10 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
               partial[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
         }
       }
+      // Broadcast before reading the coefficients: it may quantize them in
+      // place, and the recurrence below must use the values the devices
+      // subtract (charge order unchanged — the fold is pure host work).
+      ortho::detail::broadcast_charge(machine, prev + 1, coeff.data());
       const double n2 = coeff[static_cast<std::size_t>(prev)];
       double proj2 = 0.0;
       for (int i = 0; i < prev; ++i) {
@@ -175,9 +195,8 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
       }
       double nu2 = n2 - proj2;
 
-      // (4) Broadcast coefficients and update BOTH bases by linearity:
+      // (4) Update BOTH bases by linearity (coefficients broadcast above):
       //     v_{j+1} = (z_j - V a)/nu,  z_{j+1} = (w - Z a)/nu.
-      ortho::detail::broadcast_charge(machine, prev + 1);
       for (int d = 0; d < ng; ++d) {
         sim::dev_copy(machine, d, v.local_rows(d), z.col(d, j),
                       v.col(d, prev));
@@ -199,7 +218,7 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
         }
         double explicit_n2 = 0.0;
         ortho::detail::reduce_to_host(machine, partial, 1, &explicit_n2);
-        ortho::detail::broadcast_charge(machine, 1);
+        ortho::detail::broadcast_charge(machine, 1, &explicit_n2);
         nu = std::sqrt(std::max(explicit_n2, 0.0));
       }
       if (nu <= 1e-300) {  // happy breakdown: the space is invariant

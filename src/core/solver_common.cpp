@@ -29,22 +29,35 @@ TierTraffic tier_traffic(const sim::Counters& before,
       (after.d2h_msgs + after.h2d_msgs) - (before.d2h_msgs + before.h2d_msgs);
   t.net_bytes = after.net_bytes - before.net_bytes;
   t.net_msgs = after.net_msgs - before.net_msgs;
+  t.peer_logical_bytes = after.peer_logical_bytes - before.peer_logical_bytes;
+  t.pcie_logical_bytes =
+      (after.d2h_logical_bytes + after.h2d_logical_bytes) -
+      (before.d2h_logical_bytes + before.h2d_logical_bytes);
+  t.net_logical_bytes = after.net_logical_bytes - before.net_logical_bytes;
   return t;
 }
 
 void trace_tier_traffic(sim::Machine& machine, const sim::Counters& before) {
   if (!machine.tracing()) return;
   const TierTraffic t = tier_traffic(before, machine.counters());
-  const auto fmt = [](double bytes, std::int64_t msgs) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.1fKB/%lld", bytes / 1024.0,
-                  static_cast<long long>(msgs));
+  const bool compressed = t.compressed();
+  const auto fmt = [compressed](double bytes, std::int64_t msgs,
+                                double ratio) {
+    char buf[80];
+    if (compressed) {
+      std::snprintf(buf, sizeof(buf), "%.1fKB/%lld(x%.2f)", bytes / 1024.0,
+                    static_cast<long long>(msgs), ratio);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.1fKB/%lld", bytes / 1024.0,
+                    static_cast<long long>(msgs));
+    }
     return std::string(buf);
   };
-  machine.trace_instant("traffic:peer=" + fmt(t.peer_bytes, t.peer_msgs) +
-                            ":pcie=" + fmt(t.pcie_bytes, t.pcie_msgs) +
-                            ":net=" + fmt(t.net_bytes, t.net_msgs),
-                        "other");
+  machine.trace_instant(
+      "traffic:peer=" + fmt(t.peer_bytes, t.peer_msgs, t.peer_ratio()) +
+          ":pcie=" + fmt(t.pcie_bytes, t.pcie_msgs, t.pcie_ratio()) +
+          ":net=" + fmt(t.net_bytes, t.net_msgs, t.net_ratio()),
+      "other");
 }
 
 std::vector<int> Problem::rows_per_device() const {

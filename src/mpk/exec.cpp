@@ -112,6 +112,7 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
   // sender's own node go to node-host memory over the peer link, only the
   // rows an off-node consumer reads travel through the coordinating host
   // (and pay the network hop for remote senders).
+  const sim::CodecSpec& cd = m.codec(sim::TrafficClass::kHalo);
   double gathered = 0.0;
   for (int d = 0; d < ng; ++d) {
     const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
@@ -121,10 +122,13 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
     if (hier) {
       const double lb = send_local_bytes_[static_cast<std::size_t>(d)];
       const double cb = send_cross_bytes_[static_cast<std::size_t>(d)];
-      if (lb > 0.0) m.d2h_node(d, lb);
-      if (cb > 0.0) m.d2h(d, cb);
+      m.charge_codec(d, cd, (lb + cb) / 8.0);
+      if (lb > 0.0) m.d2h_node(d, cd.wire_bytes(lb / 8.0), lb);
+      if (cb > 0.0) m.d2h(d, cd.wire_bytes(cb / 8.0), cb);
     } else {
-      m.d2h(d, 8.0 * static_cast<double>(dp.send_local_rows.size()));
+      const double rows = static_cast<double>(dp.send_local_rows.size());
+      m.charge_codec(d, cd, rows);
+      m.d2h(d, cd.wire_bytes(rows), 8.0 * rows);
     }
     gathered += static_cast<double>(dp.send_local_rows.size());
   }
@@ -144,11 +148,14 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
     if (next > 0) {
       if (hier) {
         const double local = node_local_ext_bytes(m, d, dp.ext_owner);
-        if (local > 0.0) m.h2d_node(d, local);
-        if (8.0 * next > local) m.h2d(d, 8.0 * next - local);
+        if (local > 0.0) m.h2d_node(d, cd.wire_bytes(local / 8.0), local);
+        if (8.0 * next > local) {
+          m.h2d(d, cd.wire_bytes(next - local / 8.0), 8.0 * next - local);
+        }
       } else {
-        m.h2d(d, 8.0 * next);
+        m.h2d(d, cd.wire_bytes(next), 8.0 * next);
       }
+      m.charge_codec(d, cd, next);
     }
     sim::dev_copy(m, d, dp.owned, v.col(d, c0), zd.data());
     if (next > 0) {
@@ -165,6 +172,10 @@ void MpkExecutor::exchange(sim::Machine& m, const sim::DistMultiVec& v,
             v.col(dp.ext_owner[static_cast<std::size_t>(e)],
                   c0)[dp.ext_owner_row[static_cast<std::size_t>(e)]];
       }
+      // The coded wire image is modeled on the consumer's assembled external
+      // slice (identical in both sync paths and on either side of the
+      // hier/flat split, so the halo numerics stay mode-invariant).
+      if (cd.active()) cd.roundtrip(zd.data() + dp.owned, next);
       m.charge_device(d, sim::Kernel::kPack, 0.0, 20.0 * next);
       if (m.consume_kernel_fault(d)) poison(zd.data() + dp.owned, next);
     }
@@ -192,6 +203,7 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
   // sender's network hop. The intra-node message goes first: the stream is
   // in-order, so the opposite order would price the hop into the peer
   // event anyway.
+  const sim::CodecSpec& cd = m.codec(sim::TrafficClass::kHalo);
   std::vector<sim::Event> pk_local(static_cast<std::size_t>(ng));
   std::vector<sim::Event> pk_cross(static_cast<std::size_t>(ng));
   for (int d = 0; d < ng; ++d) {
@@ -202,12 +214,15 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
     if (hier) {
       const double lb = send_local_bytes_[static_cast<std::size_t>(d)];
       const double cb = send_cross_bytes_[static_cast<std::size_t>(d)];
-      if (lb > 0.0) m.d2h_node(d, lb);
+      m.charge_codec(d, cd, (lb + cb) / 8.0);
+      if (lb > 0.0) m.d2h_node(d, cd.wire_bytes(lb / 8.0), lb);
       pk_local[static_cast<std::size_t>(d)] = m.record_event(d);
-      if (cb > 0.0) m.d2h(d, cb);
+      if (cb > 0.0) m.d2h(d, cd.wire_bytes(cb / 8.0), cb);
       pk_cross[static_cast<std::size_t>(d)] = m.record_event(d);
     } else {
-      m.d2h(d, 8.0 * static_cast<double>(dp.send_local_rows.size()));
+      const double rows = static_cast<double>(dp.send_local_rows.size());
+      m.charge_codec(d, cd, rows);
+      m.d2h(d, cd.wire_bytes(rows), 8.0 * rows);
       pk_local[static_cast<std::size_t>(d)] = m.record_event(d);
       pk_cross[static_cast<std::size_t>(d)] =
           pk_local[static_cast<std::size_t>(d)];
@@ -254,11 +269,14 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
     m.charge_host(sim::Kernel::kCopy, 0.0, 16.0 * next);
     if (hier) {
       const double local = node_local_ext_bytes(m, d, dp.ext_owner);
-      if (local > 0.0) m.h2d_node(d, local);
-      if (8.0 * next > local) m.h2d(d, 8.0 * next - local);
+      if (local > 0.0) m.h2d_node(d, cd.wire_bytes(local / 8.0), local);
+      if (8.0 * next > local) {
+        m.h2d(d, cd.wire_bytes(next - local / 8.0), 8.0 * next - local);
+      }
     } else {
-      m.h2d(d, 8.0 * next);
+      m.h2d(d, cd.wire_bytes(next), 8.0 * next);
     }
+    m.charge_codec(d, cd, next);
     // Wall-clock guard for the closure below: it reads the owners' basis
     // blocks, which their pack closures read too, but a late kernel on an
     // owner stream could already be overwriting by then in a future layout;
@@ -272,12 +290,16 @@ void MpkExecutor::exchange_events(sim::Machine& m, const sim::DistMultiVec& v,
     const MpkDevicePlan* dpp = &dp;
     double* zp = zd.data();
     const sim::DistMultiVec* vp = &v;
+    const sim::CodecSpec cdv = cd;
     m.run_on_device(d, [=] {
       for (int e = 0; e < next; ++e) {
         zp[static_cast<std::size_t>(dpp->owned + e)] =
             vp->col(dpp->ext_owner[static_cast<std::size_t>(e)],
                     c0)[dpp->ext_owner_row[static_cast<std::size_t>(e)]];
       }
+      // Same wire-image model as the barrier path: the codec round trip
+      // runs on the consumer's assembled external slice.
+      if (cdv.active()) cdv.roundtrip(zp + dpp->owned, next);
       if (hit) poison(zp + dpp->owned, next);
     });
   }

@@ -86,8 +86,10 @@ TsqrResult tsqr_cholqr(sim::Machine& m, sim::DistMultiVec& v, int c0, int c1,
     }
   }
 
-  // Broadcast R, then the panel-wide triangular solve on each device.
-  broadcast_charge(m, k * k);
+  // Broadcast R (coded wire image when a reduce codec is armed — the
+  // returned R then holds the values the devices solved against), then the
+  // panel-wide triangular solve on each device.
+  broadcast_charge(m, k * k, r.data());
   for (int d = 0; d < ng; ++d) {
     sim::dev_trsm(m, d, v.local_rows(d), k, r.data(), r.ld(), v.col(d, c0),
                   v.local(d).ld());

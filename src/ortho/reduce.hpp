@@ -41,6 +41,12 @@ namespace cagmres::ortho::detail {
 /// single-node path is untouched. ev[d] then marks device d's partial
 /// leaving the device (the node leader's event covers its shipped
 /// subtotal).
+///
+/// With a reduce codec armed (Machine::codec(kReduce)), each partial is
+/// folded as the consumer of its coded message would see it — quantized
+/// exactly once, identically on every schedule and on both sides of the
+/// hier knob — messages are wire-priced, and every producer is charged one
+/// encode pass per reduction (DESIGN.md §14).
 std::vector<sim::Event> reduce_to_host_events(
     sim::Machine& m, const std::vector<std::vector<double>>& partials,
     int len, double* out);
@@ -54,6 +60,14 @@ void reduce_to_host(sim::Machine& m,
 /// and makes subsequent device kernels wait for it. Flat: one H2D message
 /// per device. With Machine::hier_reduce() on, one inter-node H2D per node
 /// leader and intra-node relays behind its event (charge-only either way).
-void broadcast_charge(sim::Machine& m, int len);
+///
+/// `payload` (optional) is the host buffer being broadcast. When a reduce
+/// codec is armed and the payload is supplied, the broadcast ships the
+/// coded image: the payload is quantized IN PLACE (host and devices then
+/// agree on the decoded values), each message is wire-priced, and every
+/// device is charged a decode pass. Without a payload the broadcast stays
+/// at full logical size — bytes are only charged compressed when the
+/// values really went through the codec round trip (DESIGN.md §14).
+void broadcast_charge(sim::Machine& m, int len, double* payload = nullptr);
 
 }  // namespace cagmres::ortho::detail

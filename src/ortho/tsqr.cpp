@@ -83,14 +83,24 @@ namespace {
 /// Accumulates partials perm[i0, i1) into out. Every schedule folds the
 /// same permutation front to back — the bitwise contract: batching the
 /// sequential adds differently never changes a value, only the order does.
+/// With a reduce codec armed, each partial is folded as the consumer of its
+/// coded message would see it (roundtrip on a scratch copy) — quantized
+/// exactly once per reduction, identically on every schedule.
 void add_partials(const std::vector<std::vector<double>>& partials,
                   const std::vector<int>& perm, int i0, int i1, int len,
-                  double* out) {
+                  double* out, const sim::CodecSpec& cd) {
+  std::vector<double> q;
   for (int i = i0; i < i1; ++i) {
     const auto& p = partials[static_cast<std::size_t>(perm[
         static_cast<std::size_t>(i)])];
     CAGMRES_ASSERT(static_cast<int>(p.size()) >= len, "partial too short");
-    for (int j = 0; j < len; ++j) out[j] += p[static_cast<std::size_t>(j)];
+    if (cd.active()) {
+      q.assign(p.begin(), p.begin() + len);
+      cd.roundtrip(q.data(), len);
+      for (int j = 0; j < len; ++j) out[j] += q[static_cast<std::size_t>(j)];
+    } else {
+      for (int j = 0; j < len; ++j) out[j] += p[static_cast<std::size_t>(j)];
+    }
   }
 }
 
@@ -148,14 +158,26 @@ std::vector<std::vector<int>> node_buckets(const sim::Machine& m,
 }
 
 /// One node's subtotal: zero-init + sequential member adds. The host (flat
-/// knob) and the leader-device closure (hier knob) both run exactly this.
+/// knob) and the leader-device closure (hier knob) both run exactly this —
+/// including the per-member codec round trip, so the subtotal's bits agree
+/// whichever side computed it. The shipped subtotal itself is modeled as a
+/// lossless re-encode (wire-priced, not re-quantized): re-quantizing it
+/// would make hier fold different values than flat (DESIGN.md §14).
 void node_subtotal(const std::vector<std::vector<double>>& partials,
-                   const std::vector<int>& members, int len, double* s) {
+                   const std::vector<int>& members, int len, double* s,
+                   const sim::CodecSpec& cd) {
   for (int j = 0; j < len; ++j) s[j] = 0.0;
+  std::vector<double> q;
   for (const int d : members) {
     const auto& p = partials[static_cast<std::size_t>(d)];
     CAGMRES_ASSERT(static_cast<int>(p.size()) >= len, "partial too short");
-    for (int j = 0; j < len; ++j) s[j] += p[static_cast<std::size_t>(j)];
+    if (cd.active()) {
+      q.assign(p.begin(), p.begin() + len);
+      cd.roundtrip(q.data(), len);
+      for (int j = 0; j < len; ++j) s[j] += q[static_cast<std::size_t>(j)];
+    } else {
+      for (int j = 0; j < len; ++j) s[j] += p[static_cast<std::size_t>(j)];
+    }
   }
 }
 
@@ -187,7 +209,9 @@ std::vector<sim::Event> reduce_grouped(
   const std::vector<int> perm = fold_order(m);
   const std::vector<std::vector<int>> nodes = node_buckets(m, perm);
   const std::size_t nn = nodes.size();
-  const double bytes = 8.0 * len;
+  const sim::CodecSpec& cd = m.codec(sim::TrafficClass::kReduce);
+  const double bytes = 8.0 * len;          // logical payload
+  const double wire = cd.wire_bytes(len);  // what actually ships
 
   std::vector<std::vector<double>> sums(nn);
   std::vector<std::vector<sim::Event>> waits(nn);
@@ -201,10 +225,11 @@ std::vector<sim::Event> reduce_grouped(
       const int lead = mem.back();  // the within-node straggler
       for (std::size_t i = 0; i + 1 < mem.size(); ++i) {
         const int d = mem[i];
-        m.d2h_node(d, bytes);
+        m.charge_codec(d, cd, len);
+        m.d2h_node(d, wire, bytes);
         ev[static_cast<std::size_t>(d)] = m.record_event(d);
         m.adjust_device_busy(
-            d, flat_ship_seconds(m, d, bytes) - pm.peer_seconds(bytes));
+            d, flat_ship_seconds(m, d, wire) - pm.peer_seconds(wire));
       }
       for (std::size_t i = 0; i + 1 < mem.size(); ++i) {
         m.stream_wait_event(lead, ev[static_cast<std::size_t>(mem[i])]);
@@ -216,15 +241,20 @@ std::vector<sim::Event> reduce_grouped(
       const bool poison = m.consume_kernel_fault(lead);
       double* s = sums[k].data();
       const std::vector<int>* mp = &nodes[k];
-      m.run_on_device(lead, [&partials, mp, len, s, poison]() {
-        node_subtotal(partials, *mp, len, s);
+      m.run_on_device(lead, [&partials, mp, len, s, poison, cd]() {
+        node_subtotal(partials, *mp, len, s, cd);
         if (poison) {
           for (int j = 0; j < len; ++j) {
             s[j] = std::numeric_limits<double>::quiet_NaN();
           }
         }
       });
-      m.d2h(lead, bytes);
+      // One encode per device per reduction on either side of the knob:
+      // members encoded their partials above, the leader encodes the one
+      // subtotal it ships — same kCodec busy as the flat branch, so the
+      // fold-order permutation stays knob-invariant without an adjustment.
+      m.charge_codec(lead, cd, len);
+      m.d2h(lead, wire, bytes);
       ev[static_cast<std::size_t>(lead)] = m.record_event(lead);
       waits[k].push_back(ev[static_cast<std::size_t>(lead)]);
       ready[k] = ev[static_cast<std::size_t>(lead)].t;
@@ -233,7 +263,8 @@ std::vector<sim::Event> reduce_grouped(
       // Flat knob, or a single-member node: every member ships its own
       // partial and the host computes the subtotal at fold time.
       for (const int d : mem) {
-        m.d2h(d, bytes);
+        m.charge_codec(d, cd, len);
+        m.d2h(d, wire, bytes);
         ev[static_cast<std::size_t>(d)] = m.record_event(d);
         waits[k].push_back(ev[static_cast<std::size_t>(d)]);
         ready[k] = std::max(ready[k], ev[static_cast<std::size_t>(d)].t);
@@ -246,7 +277,7 @@ std::vector<sim::Event> reduce_grouped(
   const auto fold_node = [&](std::size_t k) {
     const std::vector<int>& mem = nodes[k];
     if (!(hier && mem.size() > 1)) {
-      node_subtotal(partials, mem, len, sums[k].data());
+      node_subtotal(partials, mem, len, sums[k].data(), cd);
     }
     const double* s = sums[k].data();
     for (int j = 0; j < len; ++j) out[j] += s[j];
@@ -318,9 +349,12 @@ std::vector<sim::Event> reduce_to_host_events(
   CAGMRES_ASSERT(static_cast<int>(partials.size()) == ng,
                  "partials per device");
   if (m.topology().n_nodes > 1) return reduce_grouped(m, partials, len, out);
+  const sim::CodecSpec& cd = m.codec(sim::TrafficClass::kReduce);
+  const double wire = cd.wire_bytes(len);
   std::vector<sim::Event> ev(static_cast<std::size_t>(ng));
   for (int d = 0; d < ng; ++d) {
-    m.d2h(d, 8.0 * len);
+    m.charge_codec(d, cd, len);
+    m.d2h(d, wire, 8.0 * len);
     // The producing chain's event: the gemm/dot that filled the partial and
     // the d2h that shipped it, nothing else on the machine.
     ev[static_cast<std::size_t>(d)] = m.record_event(d);
@@ -333,7 +367,7 @@ std::vector<sim::Event> reduce_to_host_events(
 
   if (!m.event_sync()) {
     m.host_wait_all();
-    add_partials(partials, perm, 0, ng, len, out);
+    add_partials(partials, perm, 0, ng, len, out, cd);
     m.charge_host(sim::Kernel::kAxpy, static_cast<double>(len) * ng,
                   16.0 * len * ng);
     return ev;
@@ -380,7 +414,7 @@ std::vector<sim::Event> reduce_to_host_events(
         m.host_wait_event(ev_at(j));
         ++j;
       }
-      add_partials(partials, perm, i, j, len, out);
+      add_partials(partials, perm, i, j, len, out, cd);
       m.charge_host(sim::Kernel::kAxpy, static_cast<double>(len) * (j - i),
                     16.0 * len * (j - i));
       i = j;
@@ -389,7 +423,7 @@ std::vector<sim::Event> reduce_to_host_events(
     for (int d = 0; d < ng; ++d) {
       m.host_wait_event(ev[static_cast<std::size_t>(d)]);
     }
-    add_partials(partials, perm, 0, ng, len, out);
+    add_partials(partials, perm, 0, ng, len, out, cd);
     m.charge_host(sim::Kernel::kAxpy, static_cast<double>(len) * ng,
                   16.0 * len * ng);
   }
@@ -402,9 +436,23 @@ void reduce_to_host(sim::Machine& m,
   (void)reduce_to_host_events(m, partials, len, out);
 }
 
-void broadcast_charge(sim::Machine& m, int len) {
+void broadcast_charge(sim::Machine& m, int len, double* payload) {
+  // With a reduce codec armed AND the caller handing over the host-side
+  // payload, the broadcast ships the coded image: the payload is quantized
+  // in place (every device decodes the same values the host keeps working
+  // with) and each h2d is wire-priced plus a per-device decode charge.
+  // A null payload broadcasts at full logical size — bytes are only charged
+  // compressed when the values actually went through the round trip.
+  const sim::CodecSpec& cd = m.codec(sim::TrafficClass::kReduce);
+  const bool coded = cd.active() && payload != nullptr;
+  if (coded) cd.roundtrip(payload, len);
+  const double bytes = 8.0 * len;
+  const double wire = coded ? cd.wire_bytes(len) : bytes;
   if (!m.hier_reduce()) {
-    for (int d = 0; d < m.n_devices(); ++d) m.h2d(d, 8.0 * len);
+    for (int d = 0; d < m.n_devices(); ++d) {
+      m.h2d(d, wire, bytes);
+      if (coded) m.charge_codec(d, cd, len);
+    }
     return;
   }
   // Hierarchical fan-out (charge-only, like the flat path — the data is in
@@ -414,18 +462,19 @@ void broadcast_charge(sim::Machine& m, int len) {
   // as early as possible. Peer-routed members are busy-normalized to the
   // flat h2d they replace, keeping the reduce fold order knob-invariant.
   const sim::PerfModel& pm = m.perf();
-  const double bytes = 8.0 * len;
   const std::vector<int> perm = fold_order(m);
   for (const std::vector<int>& mem : node_buckets(m, perm)) {
     const int lead = mem.front();
-    m.h2d(lead, bytes);
+    m.h2d(lead, wire, bytes);
+    if (coded) m.charge_codec(lead, cd, len);
     const sim::Event e = m.record_event(lead);
     for (std::size_t i = 1; i < mem.size(); ++i) {
       const int d = mem[i];
       m.stream_wait_event(d, e);
-      m.h2d_node(d, bytes);
+      m.h2d_node(d, wire, bytes);
+      if (coded) m.charge_codec(d, cd, len);
       m.adjust_device_busy(
-          d, flat_ship_seconds(m, d, bytes) - pm.peer_seconds(bytes));
+          d, flat_ship_seconds(m, d, wire) - pm.peer_seconds(wire));
     }
   }
 }

@@ -68,6 +68,13 @@ struct ChaosRunResult {
   double elapsed = 0.0;      ///< simulated seconds of the run
   double final_residual = 0.0;
   std::uint64_t fingerprint = 0;  ///< hash of x bytes + outcome + timing
+  /// Per-tier interconnect traffic of the run: wire bytes actually moved
+  /// and the pre-codec payload ("logical") bytes — equal unless a transfer
+  /// codec was armed (CAGMRES_COMPRESS). Zero when the solver threw before
+  /// returning stats.
+  double peer_bytes = 0.0, peer_logical_bytes = 0.0;
+  double pcie_bytes = 0.0, pcie_logical_bytes = 0.0;
+  double net_bytes = 0.0, net_logical_bytes = 0.0;
 };
 
 /// One confirmed invariant violation.
@@ -125,6 +132,12 @@ struct ChaosCampaignStats {
   int clean_errors = 0;
   int watchdogs = 0;
   int degraded = 0;
+  /// Summed per-tier traffic over every run (wire vs pre-codec payload
+  /// bytes; see ChaosRunResult) so the driver can report the campaign's
+  /// achieved compression ratios.
+  double peer_bytes = 0.0, peer_logical_bytes = 0.0;
+  double pcie_bytes = 0.0, pcie_logical_bytes = 0.0;
+  double net_bytes = 0.0, net_logical_bytes = 0.0;
   std::vector<ChaosViolation> violations;
 };
 

@@ -65,6 +65,17 @@ Topology default_topology(int n_devices) {
   return flat;
 }
 
+/// Transfer codecs for new machines: CAGMRES_COMPRESS in the environment,
+/// e.g. "halo=fp32,reduce=frsz2:16,ckpt=fp32" (DESIGN.md §14). Parsed
+/// leniently like CAGMRES_TOPOLOGY — invalid entries are dropped rather
+/// than blowing up every Machine in the process. Unset = all none, which
+/// is bitwise identical to a machine without the codec layer.
+CodecConfig default_codec_config() {
+  const char* s = std::getenv("CAGMRES_COMPRESS");
+  if (s == nullptr || *s == '\0') return {};
+  return parse_codec_config(s, /*lenient=*/true);
+}
+
 }  // namespace
 
 Counters Counters::operator-(const Counters& rhs) const {
@@ -83,6 +94,10 @@ Counters Counters::operator-(const Counters& rhs) const {
   out.net_msgs = net_msgs - rhs.net_msgs;
   out.peer_bytes = peer_bytes - rhs.peer_bytes;
   out.peer_msgs = peer_msgs - rhs.peer_msgs;
+  out.d2h_logical_bytes = d2h_logical_bytes - rhs.d2h_logical_bytes;
+  out.h2d_logical_bytes = h2d_logical_bytes - rhs.h2d_logical_bytes;
+  out.net_logical_bytes = net_logical_bytes - rhs.net_logical_bytes;
+  out.peer_logical_bytes = peer_logical_bytes - rhs.peer_logical_bytes;
   for (int k = 0; k < kKernelClasses; ++k) {
     out.kernel_flops[static_cast<std::size_t>(k)] =
         kernel_flops[static_cast<std::size_t>(k)] -
@@ -109,6 +124,7 @@ Machine::Machine(int n_devices, PerfModel model)
       dev_ops_(static_cast<std::size_t>(n_devices), 0),
       dev_busy_(static_cast<std::size_t>(n_devices), 0.0),
       dev_poison_(static_cast<std::size_t>(n_devices), 0),
+      codecs_(default_codec_config()),
       hier_reduce_(default_hier_reduce()),
       sync_mode_(default_sync_mode()),
       pool_(n_devices, default_host_workers(n_devices)) {
@@ -125,6 +141,7 @@ Machine::Machine(Topology topology, PerfModel model)
       dev_ops_(static_cast<std::size_t>(topology.n_devices()), 0),
       dev_busy_(static_cast<std::size_t>(topology.n_devices()), 0.0),
       dev_poison_(static_cast<std::size_t>(topology.n_devices()), 0),
+      codecs_(default_codec_config()),
       hier_reduce_(default_hier_reduce()),
       sync_mode_(default_sync_mode()),
       pool_(topology.n_devices(),
@@ -318,9 +335,9 @@ void Machine::charge_host(Kernel k, double flops, double bytes) {
   check_deadline();
 }
 
-void Machine::charge_transfer(int d, double bytes, bool to_device,
-                              bool node_local, const char* name,
-                              const char* retry_name) {
+void Machine::charge_transfer(int d, double bytes, double logical_bytes,
+                              bool to_device, bool node_local,
+                              const char* name, const char* retry_name) {
   // A message from a remote node travels GPU -> local host -> network ->
   // coordinating host; the serial path is folded into the device timeline
   // (the device-side data is in flight either way). Node-local messages
@@ -349,6 +366,7 @@ void Machine::charge_transfer(int d, double bytes, bool to_device,
     link = start + net;
     resend += net;
     counters_.net_bytes += bytes;
+    counters_.net_logical_bytes += logical_bytes;
     ++counters_.net_msgs;
   }
   const double t = resend + stall + queue;
@@ -364,12 +382,15 @@ void Machine::charge_transfer(int d, double bytes, bool to_device,
   }
   if (node_local) {
     counters_.peer_bytes += bytes;
+    counters_.peer_logical_bytes += logical_bytes;
     ++counters_.peer_msgs;
   } else if (to_device) {
     counters_.h2d_bytes += bytes;
+    counters_.h2d_logical_bytes += logical_bytes;
     ++counters_.h2d_msgs;
   } else {
     counters_.d2h_bytes += bytes;
+    counters_.d2h_logical_bytes += logical_bytes;
     ++counters_.d2h_msgs;
   }
   if (faults_.armed()) {
@@ -379,23 +400,39 @@ void Machine::charge_transfer(int d, double bytes, bool to_device,
   check_deadline();
 }
 
-void Machine::d2h(int d, double bytes) {
-  charge_transfer(d, bytes, false, false, "d2h", "retry:d2h");
+void Machine::d2h(int d, double bytes, double logical_bytes) {
+  if (logical_bytes < 0.0) logical_bytes = bytes;
+  charge_transfer(d, bytes, logical_bytes, false, false, "d2h", "retry:d2h");
 }
 
-void Machine::h2d(int d, double bytes) {
-  charge_transfer(d, bytes, true, false, "h2d", "retry:h2d");
+void Machine::h2d(int d, double bytes, double logical_bytes) {
+  if (logical_bytes < 0.0) logical_bytes = bytes;
+  charge_transfer(d, bytes, logical_bytes, true, false, "h2d", "retry:h2d");
 }
 
-void Machine::d2h_node(int d, double bytes) {
-  charge_transfer(d, bytes, false, true, "d2h_node", "retry:d2h_node");
+void Machine::d2h_node(int d, double bytes, double logical_bytes) {
+  if (logical_bytes < 0.0) logical_bytes = bytes;
+  charge_transfer(d, bytes, logical_bytes, false, true, "d2h_node",
+                  "retry:d2h_node");
 }
 
-void Machine::h2d_node(int d, double bytes) {
-  charge_transfer(d, bytes, true, true, "h2d_node", "retry:h2d_node");
+void Machine::h2d_node(int d, double bytes, double logical_bytes) {
+  if (logical_bytes < 0.0) logical_bytes = bytes;
+  charge_transfer(d, bytes, logical_bytes, true, true, "h2d_node",
+                  "retry:h2d_node");
 }
 
-double Machine::nic_dma(double bytes, double ready_s) {
+void Machine::set_codec(TrafficClass c, CodecSpec spec) {
+  CAGMRES_REQUIRE(spec.bits >= 4 && spec.bits <= 31,
+                  "set_codec: frsz2 bits must be in [4, 31]");
+  CAGMRES_REQUIRE(!(c == TrafficClass::kCkpt && spec.kind == Codec::kFrsz2),
+                  "set_codec: ckpt requires a lossless-restorable codec "
+                  "(none|fp32); frsz2 block boundaries shift on repartition");
+  codecs_.at(c) = spec;
+}
+
+double Machine::nic_dma(double bytes, double ready_s, double logical_bytes) {
+  if (logical_bytes < 0.0) logical_bytes = bytes;
   // Node-host to node-host DMA: queues on the into-host NIC direction like
   // a d2h network hop, but no device stream carries it — the caller holds
   // the arrival time (typically inside an Event) and charges any wait
@@ -405,6 +442,7 @@ double Machine::nic_dma(double bytes, double ready_s) {
   const double start = std::max(ready_s, net_free_[0]);
   net_free_[0] = start + net;
   counters_.net_bytes += bytes;
+  counters_.net_logical_bytes += logical_bytes;
   ++counters_.net_msgs;
   return start + net;
 }

@@ -16,6 +16,7 @@
 
 #include "blas/matrix.hpp"
 #include "sim/clock.hpp"
+#include "sim/codec.hpp"
 #include "sim/fault.hpp"
 #include "sim/host_pool.hpp"
 #include "sim/perf_model.hpp"
@@ -25,7 +26,7 @@
 namespace cagmres::sim {
 
 /// Number of device kernel classes (size of the Kernel enum).
-inline constexpr int kKernelClasses = 12;
+inline constexpr int kKernelClasses = 13;
 /// Index of a kernel class into the per-class counter arrays.
 inline int kernel_index(Kernel k) { return static_cast<int>(k); }
 
@@ -44,6 +45,14 @@ struct Counters {
   std::int64_t net_msgs = 0;   ///< messages that crossed it
   double peer_bytes = 0.0;     ///< bytes over intra-node (NVLink-class) links
   std::int64_t peer_msgs = 0;  ///< messages over them
+
+  /// Logical (pre-codec) byte counts for the same messages. Equal to the
+  /// wire counts above when no transfer codec is armed; with a codec on,
+  /// wire/logical is the achieved compression ratio (DESIGN.md §14).
+  double d2h_logical_bytes = 0.0;
+  double h2d_logical_bytes = 0.0;
+  double net_logical_bytes = 0.0;
+  double peer_logical_bytes = 0.0;
 
   /// Per-kernel-class aggregates across all devices (indexed by
   /// kernel_index): where the flops and the simulated kernel time went.
@@ -158,17 +167,22 @@ class Machine {
   void charge_host(Kernel k, double flops, double bytes);
 
   /// Posts an async device-to-host message from device d.
-  void d2h(int d, double bytes);
+  ///
+  /// `bytes` is what actually crosses the wire; `logical_bytes` (default:
+  /// same) is the uncompressed payload size, tracked separately so
+  /// TierTraffic can report the achieved codec ratio. Call sites that ship
+  /// a coded payload pass wire_bytes(n) / 8*n (DESIGN.md §14).
+  void d2h(int d, double bytes, double logical_bytes = -1.0);
 
   /// Posts an async host-to-device message to device d.
-  void h2d(int d, double bytes);
+  void h2d(int d, double bytes, double logical_bytes = -1.0);
 
   /// Node-local transfers: device d <-> its *own node's* host memory over
   /// the intra-node (NVLink-class) link. Never crosses the network, so
   /// inter-node link faults cannot touch them. These are the hierarchical
   /// checkpointing fast path; flat-mode solvers never call them.
-  void d2h_node(int d, double bytes);
-  void h2d_node(int d, double bytes);
+  void d2h_node(int d, double bytes, double logical_bytes = -1.0);
+  void h2d_node(int d, double bytes, double logical_bytes = -1.0);
 
   /// Charges an inter-node NIC DMA of `bytes` out of node-host memory that
   /// becomes ready no earlier than `ready_s`: the message queues on the
@@ -176,7 +190,24 @@ class Machine {
   /// transfer and bumps the net byte/msg counters, but occupies no device
   /// stream. Returns the simulated arrival time. The checkpoint partner
   /// mirror is the client (DESIGN.md §12-§13).
-  double nic_dma(double bytes, double ready_s);
+  double nic_dma(double bytes, double ready_s, double logical_bytes = -1.0);
+
+  // --- transfer codec layer (DESIGN.md §14) ----------------------------
+  /// Codec armed on one traffic class (none by default; CAGMRES_COMPRESS
+  /// sets the construction-time default, e.g. "halo=fp32,reduce=frsz2:16").
+  const CodecSpec& codec(TrafficClass c) const { return codecs_.at(c); }
+  const CodecConfig& codec_config() const { return codecs_; }
+  /// Arms `spec` on traffic class `c`. Throws Error(kBadInput) for
+  /// ckpt=frsz2: the saved iterate must re-ship bit-identically on restore,
+  /// which only an idempotent per-value demotion guarantees.
+  void set_codec(TrafficClass c, CodecSpec spec);
+  /// Charges the fused (de)compression pass for a coded message of
+  /// `n_values` doubles to device d's stream (no-op when `spec` is none).
+  /// 16 bytes per value: the pass reads the doubles and writes (or reads)
+  /// the wire image through device memory once.
+  void charge_codec(int d, const CodecSpec& spec, double n_values) {
+    if (spec.active()) charge_device(d, Kernel::kCodec, 0.0, 16.0 * n_values);
+  }
 
   /// Host blocks until device d (and its copy queue) is done. Advances the
   /// simulated host clock AND drains device d's real work stream, so any
@@ -363,8 +394,9 @@ class Machine {
   /// Shared body of the four transfer flavours: fault polls (link-scoped
   /// ones only when the message crosses the network), the charged time at
   /// the right rate, counters, and the checksum retry loop.
-  void charge_transfer(int d, double bytes, bool to_device, bool node_local,
-                       const char* name, const char* retry_name);
+  void charge_transfer(int d, double bytes, double logical_bytes,
+                       bool to_device, bool node_local, const char* name,
+                       const char* retry_name);
   /// Pre-op fault gate for one physical device: advances its op counter,
   /// throws Error(kDeviceFault) if it is (or just became) dead, and latches
   /// the NaN-poison flag on an injected kernel fault. Returns the op index.
@@ -400,6 +432,7 @@ class Machine {
   /// ([0] = into the host / d2h + DMA, [1] = out of the host / h2d).
   /// Cross-network messages queue here; see charge_transfer.
   double net_free_[2] = {0.0, 0.0};
+  CodecConfig codecs_;  ///< per-traffic-class transfer codecs (§14)
   bool hier_reduce_;  ///< hierarchical-collectives knob (see hier_reduce())
   bool tracing_ = false;
   SyncMode sync_mode_;

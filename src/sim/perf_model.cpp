@@ -27,11 +27,17 @@ double PerfModel::device_peak(Kernel k) const {
       return spmv_bw;  // memory bound
     case Kernel::kSmall:
       return 1e9;
+    case Kernel::kCodec:
+      return codec_bw;  // bandwidth bound by construction
   }
   return 1e9;
 }
 
 double PerfModel::device_seconds(Kernel k, double flops, double bytes) const {
+  // kCodec is launch-free: (de)compression is fused into the pack/DMA
+  // pipeline, so compressing a tiny message can never lose to shipping it
+  // raw through a fixed dispatch cost the fused path does not pay.
+  if (k == Kernel::kCodec) return bytes / codec_bw;
   double t = kernel_launch_s;
   switch (k) {
     case Kernel::kDot:
@@ -60,6 +66,8 @@ double PerfModel::device_seconds(Kernel k, double flops, double bytes) const {
     case Kernel::kSmall:
       t += flops / device_peak(k);
       break;
+    case Kernel::kCodec:
+      break;  // handled above
   }
   return t;
 }

@@ -35,6 +35,7 @@ enum class Kernel {
   kSpmvCsr,     ///< sparse matrix-vector, CSR layout
   kPack,        ///< gather/scatter of indexed vector elements
   kSmall,       ///< tiny O(s^2)-O(s^3) device work (norm fixups etc.)
+  kCodec,       ///< transfer payload (de)compression (DESIGN.md §14)
 };
 
 /// Kernel implementation generation (paper §V-F).
@@ -83,6 +84,12 @@ struct PerfModel {
   // node-local halo traffic at these rates instead of paying PCIe + network.
   double peer_latency_s = 8e-6;        ///< per peer message
   double peer_bw = 20e9;               ///< B/s per direction
+
+  // --- transfer codec (DESIGN.md §14) ---
+  // FRSZ2-class fixed-rate (de)compression is bandwidth bound and far above
+  // every link rate; charged launch-free because it is modeled as fused into
+  // the pack/DMA pipeline rather than as a separate kernel dispatch.
+  double codec_bw = 100e9;             ///< B/s touched per (de)compress pass
 
   /// Seconds one device kernel takes under this model.
   double device_seconds(Kernel k, double flops, double bytes) const;

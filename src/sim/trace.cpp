@@ -58,6 +58,8 @@ std::string kernel_name(Kernel k) {
       return "pack";
     case Kernel::kSmall:
       return "small";
+    case Kernel::kCodec:
+      return "codec";
   }
   return "?";
 }

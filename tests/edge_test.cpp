@@ -22,6 +22,8 @@
 #include "sparse/ell.hpp"
 #include "sparse/generators.hpp"
 
+#include "codec_tol.hpp"
+
 namespace cagmres {
 namespace {
 
@@ -179,7 +181,7 @@ TEST(SolverEdge, TinySystemManyDevices) {
   EXPECT_TRUE(res.stats.converged);
   const double rel = core::true_residual(a, b, res.x) /
                      blas::nrm2(a.n_rows, b.data());
-  EXPECT_LT(rel, 1e-9);
+  EXPECT_LT(rel, test::codec_tol(1e-9, 1e-7));
 }
 
 TEST(SolverEdge, IdentityMatrixConvergesInOneIteration) {
@@ -197,7 +199,9 @@ TEST(SolverEdge, IdentityMatrixConvergesInOneIteration) {
   opts.tol = 1e-12;
   const core::SolveResult res = core::gmres(machine, p, opts);
   EXPECT_TRUE(res.stats.converged);
-  EXPECT_LE(res.stats.iterations, 1);
+  // Exact arithmetic converges in one iteration; fp32-quantized reduction
+  // wires (CAGMRES_COMPRESS) leave a residual that takes a few more.
+  EXPECT_LE(res.stats.iterations, test::codec_armed() ? 2 * opts.m : 1);
   for (int i = 0; i < 50; ++i) {
     EXPECT_NEAR(res.x[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-12);
   }
@@ -219,13 +223,15 @@ TEST(OrthoEdge, SingleColumnTsqrIsJustNormalization) {
     }
     const ortho::TsqrResult res = ortho::tsqr(m, method, v, 0, 1);
     m.sync();  // the host reads the normalized column below
-    EXPECT_NEAR(res.r(0, 0), std::sqrt(nrm_sq), 1e-10 * std::sqrt(nrm_sq))
+    EXPECT_NEAR(res.r(0, 0), std::sqrt(nrm_sq),
+                test::codec_tol(1e-10, 1e-7) * std::sqrt(nrm_sq))
         << ortho::to_string(method);
     double after = 0.0;
     for (int d = 0; d < 2; ++d) {
       for (int i = 0; i < 40; ++i) after += v.col(d, 0)[i] * v.col(d, 0)[i];
     }
-    EXPECT_NEAR(after, 1.0, 1e-12) << ortho::to_string(method);
+    EXPECT_NEAR(after, 1.0, test::codec_tol(1e-12, 1e-6))
+        << ortho::to_string(method);
   }
 }
 

@@ -20,6 +20,8 @@
 #include "sim/machine.hpp"
 #include "sparse/generators.hpp"
 
+#include "codec_tol.hpp"
+
 namespace cagmres {
 namespace {
 
@@ -432,6 +434,54 @@ TEST(TransferCorruption, CaGmresRetriesAndConverges) {
   EXPECT_TRUE(res.stats.converged);
   EXPECT_GT(res.stats.recovery.transfer_retries, 0);
   EXPECT_LT(relative_residual(s, res.x), 1e-5);
+}
+
+TEST(TransferCorruption, ChecksumRetryRepricesTheCompressedWire) {
+  // With a transfer codec armed the checksum retry retransmits the CODED
+  // message (DESIGN.md §14): under the same corrupt storm the coded run
+  // must keep the "identical numerics, strictly more time" contract against
+  // a fault-free coded baseline, and each retransmission is priced on wire
+  // bytes, so the coded run loses less time per retry than the plain one.
+  const TestSystem s = make_system(3);
+  sim::CodecSpec fp32;
+  fp32.kind = sim::Codec::kFp32;
+  const auto arm_codec = [&](Machine& m) {
+    m.set_codec(sim::TrafficClass::kHalo, fp32);
+    m.set_codec(sim::TrafficClass::kReduce, fp32);
+  };
+
+  Machine m_base(3);
+  arm_codec(m_base);
+  const core::SolveResult r_base = core::ca_gmres(m_base, s.p, base_opts());
+  ASSERT_TRUE(r_base.stats.converged);
+
+  Machine m_coded(3);
+  arm_codec(m_coded);
+  sim::parse_fault_spec("seed=10;corrupt:p=0.01", m_coded.fault_injector());
+  const core::SolveResult res = core::ca_gmres(m_coded, s.p, base_opts());
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_GT(res.stats.recovery.transfer_retries, 0);
+  // The retried payload decodes to exactly what a clean coded transfer
+  // delivers: corruption costs time, never numerics.
+  EXPECT_EQ(res.x, r_base.x);
+  EXPECT_GT(res.stats.time_total, r_base.stats.time_total);
+
+  // CAGMRES_COMPRESS arms every Machine in the process, so the plain
+  // reference only exists when the environment is clean.
+  if (test::codec_armed()) return;
+  Machine m_plain(3);
+  sim::parse_fault_spec("seed=10;corrupt:p=0.01", m_plain.fault_injector());
+  const core::SolveResult r_plain = core::ca_gmres(m_plain, s.p, base_opts());
+  ASSERT_GT(r_plain.stats.recovery.transfer_retries, 0);
+  // Wire-byte pricing: simulated seconds lost per retransmission shrink
+  // with the 2x smaller fp32 messages.
+  const double per_retry_coded =
+      res.stats.recovery.time_lost /
+      static_cast<double>(res.stats.recovery.transfer_retries);
+  const double per_retry_plain =
+      r_plain.stats.recovery.time_lost /
+      static_cast<double>(r_plain.stats.recovery.transfer_retries);
+  EXPECT_LT(per_retry_coded, per_retry_plain);
 }
 
 TEST(TransferStall, ChargesExtraLatency) {

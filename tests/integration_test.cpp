@@ -23,6 +23,8 @@
 #include "sim/machine.hpp"
 #include "sparse/generators.hpp"
 
+#include "codec_tol.hpp"
+
 namespace cagmres {
 namespace {
 
@@ -121,10 +123,13 @@ TEST(Pipeline, HessenbergIdentityHoldsAgainstExplicitSpmv) {
              (recon[static_cast<std::size_t>(i)] - aq[static_cast<std::size_t>(i)]);
       scale += aq[static_cast<std::size_t>(i)] * aq[static_cast<std::size_t>(i)];
     }
-    EXPECT_LT(std::sqrt(err / (scale + 1e-300)), 1e-9) << "column " << j;
+    EXPECT_LT(std::sqrt(err / (scale + 1e-300)), test::codec_tol(1e-9, 1e-8))
+        << "column " << j;
   }
-  // And the basis is orthonormal.
-  EXPECT_LT(ortho::orthogonality_error(v, 0, m + 1), 1e-10);
+  // And the basis is orthonormal (to fp32 grade when a codec quantizes the
+  // projection coefficients on the wire).
+  EXPECT_LT(ortho::orthogonality_error(v, 0, m + 1),
+            test::codec_tol(1e-10, 1e-4));
 }
 
 TEST(Pipeline, MpkThenTsqrSpansTheKrylovSpace) {
@@ -206,7 +211,9 @@ TEST(Equivalence, SolutionIndependentOfOrdering) {
     core::SolverOptions opts;
     opts.m = 30;
     opts.s = 6;
-    opts.tol = 1e-8;
+    // fp32-quantized reduction wires cap the attainable residual on this
+    // ill-conditioned circuit matrix; ask only for what the codec can give.
+    opts.tol = test::codec_tol(1e-8, 1e-4);
     opts.max_restarts = 400;
     const core::SolveResult res = core::ca_gmres(machine, p, opts);
     ASSERT_TRUE(res.stats.converged) << graph::to_string(o);
@@ -215,7 +222,10 @@ TEST(Equivalence, SolutionIndependentOfOrdering) {
     } else {
       for (int i = 0; i < a.n_rows; ++i) {
         EXPECT_NEAR(res.x[static_cast<std::size_t>(i)],
-                    reference[static_cast<std::size_t>(i)], 2e-5)
+                    reference[static_cast<std::size_t>(i)],
+                    test::codec_near(2e-5,
+                                     reference[static_cast<std::size_t>(i)],
+                                     100.0))
             << graph::to_string(o);
       }
     }
@@ -314,9 +324,12 @@ TEST(CpuPath, MatchesDeviceNumericsBitwiseOnOneDevice) {
   ASSERT_TRUE(r_dev.stats.converged);
   ASSERT_TRUE(r_cpu.stats.converged);
   EXPECT_EQ(r_dev.stats.restarts, r_cpu.stats.restarts);
+  // The CPU path never touches the wire, so an armed codec legitimately
+  // perturbs only the device side: compare to convergence grade then.
   for (int i = 0; i < a.n_rows; ++i) {
     EXPECT_NEAR(r_dev.x[static_cast<std::size_t>(i)],
-                r_cpu.x[static_cast<std::size_t>(i)], 1e-12);
+                r_cpu.x[static_cast<std::size_t>(i)],
+                test::codec_tol(1e-12, 1e-10));
   }
 }
 

@@ -12,6 +12,8 @@
 #include "mpk/exec.hpp"
 #include "mpk/plan.hpp"
 #include "sim/machine.hpp"
+
+#include "codec_tol.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/generators.hpp"
@@ -185,7 +187,9 @@ TEST_P(MpkExecTest, MonomialPowersMatchRepeatedSpmv) {
     for (int d = 0; d < ng; ++d) {
       for (int i = 0; i < v.local_rows(d); ++i) {
         EXPECT_NEAR(v.col(d, k)[i], ref[offv + static_cast<std::size_t>(i)],
-                    1e-9 * std::pow(10.0, k))
+                    test::codec_near(1e-9 * std::pow(10.0, k),
+                                     ref[offv + static_cast<std::size_t>(i)],
+                                     std::pow(10.0, k)))
             << "k=" << k << " d=" << d << " i=" << i;
       }
       offv += static_cast<std::size_t>(v.local_rows(d));
@@ -241,7 +245,10 @@ TEST(MpkExec, NewtonRealShiftsMatchExplicitRecursion) {
     offv = 0;
     for (int d = 0; d < ng; ++d) {
       for (int i = 0; i < v.local_rows(d); ++i) {
-        EXPECT_NEAR(v.col(d, k + 1)[i], cur[offv + static_cast<std::size_t>(i)], 1e-10);
+        EXPECT_NEAR(v.col(d, k + 1)[i], cur[offv + static_cast<std::size_t>(i)],
+                    test::codec_near(1e-10,
+                                     cur[offv + static_cast<std::size_t>(i)],
+                                     std::pow(10.0, k + 1)));
       }
       offv += static_cast<std::size_t>(v.local_rows(d));
     }
@@ -295,7 +302,11 @@ TEST(MpkExec, ComplexPairMatchesExplicitRealArithmetic) {
     for (int k = 1; k <= s; ++k) {
       for (int i = 0; i < v.local_rows(d); ++i) {
         EXPECT_NEAR(v.col(d, k)[i],
-                    ref[static_cast<std::size_t>(k)][offv + static_cast<std::size_t>(i)], 1e-9);
+                    ref[static_cast<std::size_t>(k)][offv + static_cast<std::size_t>(i)],
+                    test::codec_near(
+                        1e-9,
+                        ref[static_cast<std::size_t>(k)][offv + static_cast<std::size_t>(i)],
+                        std::pow(10.0, k)));
       }
     }
     offv += static_cast<std::size_t>(v.local_rows(d));
@@ -338,7 +349,8 @@ TEST(MpkExec, DistributedSpmvMatchesHost) {
   offv = 0;
   for (int d = 0; d < ng; ++d) {
     for (int i = 0; i < v.local_rows(d); ++i) {
-      EXPECT_NEAR(v.col(d, 1)[i], y[offv + static_cast<std::size_t>(i)], 1e-10);
+      EXPECT_NEAR(v.col(d, 1)[i], y[offv + static_cast<std::size_t>(i)],
+                  test::codec_near(1e-10, y[offv + static_cast<std::size_t>(i)]));
     }
     offv += static_cast<std::size_t>(v.local_rows(d));
   }
@@ -411,6 +423,58 @@ TEST(MpkExec, LatencySavingsVsRepeatedSpmv) {
   EXPECT_LT(m_mpk.clock().elapsed(), m_spmv.clock().elapsed());
   // And it used far fewer messages.
   EXPECT_LT(m_mpk.counters().total_msgs(), m_spmv.counters().total_msgs());
+}
+
+TEST(MpkCodec, HaloWireBytesMatchTheCodecSize) {
+  // With halo=fp32 armed, every gather/scatter message must be priced at
+  // exactly CodecSpec::wire_bytes of its payload while the logical counters
+  // keep the uncompressed size — the achieved ratio is wire-accurate, not
+  // an estimate.
+  const CsrMatrix a = sparse::make_laplace2d(12, 10, 0.2);
+  const int s = 3;
+  const MpkPlan plan = build_mpk_plan(a, offsets_of(a, 2), s);
+  MpkExecutor exec(plan);
+  Machine m(2);
+  sim::CodecSpec cd;
+  cd.kind = sim::Codec::kFp32;
+  m.set_codec(sim::TrafficClass::kHalo, cd);
+
+  DistMultiVec v(plan.rows_per_device(), s + 1);
+  Rng rng(17);
+  for (int d = 0; d < 2; ++d) {
+    for (int i = 0; i < v.local_rows(d); ++i) v.col(d, 0)[i] = rng.normal();
+  }
+  exec.apply(m, v, 0, s);
+  m.sync();
+
+  // The MPK ships the deep halo once per block: one pack (d2h) per sending
+  // device and one expand (h2d) per receiving device.
+  double exp_d2h = 0.0, exp_d2h_logical = 0.0;
+  double exp_h2d = 0.0, exp_h2d_logical = 0.0;
+  for (int d = 0; d < 2; ++d) {
+    const MpkDevicePlan& dp = plan.dev[static_cast<std::size_t>(d)];
+    const double send = static_cast<double>(dp.send_local_rows.size());
+    if (send > 0.0) {
+      exp_d2h += cd.wire_bytes(send);
+      exp_d2h_logical += 8.0 * send;
+    }
+    const double next = static_cast<double>(dp.ext_global.size());
+    if (next > 0.0) {
+      exp_h2d += cd.wire_bytes(next);
+      exp_h2d_logical += 8.0 * next;
+    }
+  }
+  ASSERT_GT(exp_d2h, 0.0);
+  const sim::Counters& c = m.counters();
+  EXPECT_DOUBLE_EQ(c.d2h_bytes, exp_d2h);
+  EXPECT_DOUBLE_EQ(c.h2d_bytes, exp_h2d);
+  EXPECT_DOUBLE_EQ(c.d2h_logical_bytes, exp_d2h_logical);
+  EXPECT_DOUBLE_EQ(c.h2d_logical_bytes, exp_h2d_logical);
+  // fp32 halves the wire exactly.
+  EXPECT_DOUBLE_EQ(c.d2h_logical_bytes, 2.0 * c.d2h_bytes);
+  EXPECT_DOUBLE_EQ(c.h2d_logical_bytes, 2.0 * c.h2d_bytes);
+  // One codec pass per communicating endpoint.
+  EXPECT_EQ(c.kernel_count[static_cast<std::size_t>(sim::Kernel::kCodec)], 4);
 }
 
 }  // namespace

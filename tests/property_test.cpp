@@ -18,6 +18,8 @@
 #include "sim/machine.hpp"
 #include "sparse/generators.hpp"
 
+#include "codec_tol.hpp"
+
 namespace cagmres {
 namespace {
 
@@ -115,7 +117,9 @@ TEST_P(OrthoBoundSweep, ErrorWithinModelBound) {
   ortho::tsqr(machine, prm.method, v, 0, k);
   machine.sync();  // the host reads the panel below
   const double err = ortho::orthogonality_error(v, 0, k);
-  const double eps = 2.2e-16;
+  // With a transfer codec armed the reduction partials cross the wire in
+  // fp32, so single precision becomes the working precision of the model.
+  const double eps = test::codec_armed() ? 1.2e-7 : 2.2e-16;
   double bound = 0.0;
   switch (prm.method) {
     case ortho::Method::kMgs:
@@ -221,7 +225,9 @@ TEST_P(MpkSweep, MatchesRepeatedSpmvAndMessageModel) {
   for (int d = 0; d < prm.ng; ++d) {
     for (int i = 0; i < v.local_rows(d); ++i) {
       EXPECT_NEAR(v.col(d, prm.s)[i], ref[off + static_cast<std::size_t>(i)],
-                  1e-11 * scale);
+                  test::codec_near(1e-11 * scale,
+                                   ref[off + static_cast<std::size_t>(i)],
+                                   scale));
     }
     off += static_cast<std::size_t>(v.local_rows(d));
   }

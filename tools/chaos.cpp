@@ -127,6 +127,29 @@ int main(int argc, char** argv) {
         stats.schedules, stats.zero_fault, stats.runs, stats.converged,
         stats.unconverged, stats.clean_errors, stats.watchdogs,
         stats.degraded);
+    // Campaign-wide interconnect traffic; with CAGMRES_COMPRESS armed the
+    // achieved per-tier compression ratio (payload/wire) rides along.
+    const bool compressed = stats.peer_logical_bytes > stats.peer_bytes ||
+                            stats.pcie_logical_bytes > stats.pcie_bytes ||
+                            stats.net_logical_bytes > stats.net_bytes;
+    const auto ratio = [](double logical, double wire) {
+      return (wire > 0.0 && logical > 0.0) ? logical / wire : 1.0;
+    };
+    if (compressed) {
+      std::printf(
+          "traffic: peer %.1f MB (x%.2f), pcie %.1f MB (x%.2f), "
+          "net %.1f MB (x%.2f)\n",
+          stats.peer_bytes / 1048576.0,
+          ratio(stats.peer_logical_bytes, stats.peer_bytes),
+          stats.pcie_bytes / 1048576.0,
+          ratio(stats.pcie_logical_bytes, stats.pcie_bytes),
+          stats.net_bytes / 1048576.0,
+          ratio(stats.net_logical_bytes, stats.net_bytes));
+    } else {
+      std::printf("traffic: peer %.1f MB, pcie %.1f MB, net %.1f MB\n",
+                  stats.peer_bytes / 1048576.0, stats.pcie_bytes / 1048576.0,
+                  stats.net_bytes / 1048576.0);
+    }
   }
 
   if (violations.empty()) {
