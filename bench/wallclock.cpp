@@ -62,6 +62,7 @@
 #include "common/options.hpp"
 #include "core/cagmres.hpp"
 #include "core/gmres.hpp"
+#include "core/precondition.hpp"
 #include "ortho/reduce.hpp"
 #include "sim/machine.hpp"
 
@@ -498,6 +499,82 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- precond: none vs block-Jacobi vs ILU(0) vs ILU(1) -----------------
+  // The ROADMAP's preconditioning item made concrete: the cant-like and
+  // circuit-like analogs under GMRES(30) with a 1200-iteration budget
+  // (m=30 x 40 restarts), unpreconditioned vs left block-Jacobi vs the
+  // right-preconditioned ILU(k) handle subsystem (src/precond/). The
+  // circuit shape exhausts its budget raw; ILU must converge it in fewer
+  // iterations AND fewer total charged seconds (setup + solve) — that is
+  // the perf gate bench.sh --compare enforces.
+  struct PrecondRow {
+    std::string matrix;
+    std::string precond;  // none | bj | ilu0 | ilu1
+    int iterations = 0;
+    int restarts = 0;
+    double setup_sim_seconds = 0.0;
+    double solve_sim_seconds = 0.0;
+    double total_sim_seconds = 0.0;
+    std::int64_t fill_nnz = 0;
+    int max_levels = 0;
+    bool converged = false;
+  };
+  std::vector<PrecondRow> precond_rows;
+  {
+    const double pscale = smoke ? 0.15 : 0.5;
+    std::printf("\n  precond (gmres m=30, budget 1200 iterations):\n");
+    for (const char* pname : {"cant", "g3_circuit"}) {
+      const sparse::CsrMatrix am = sparse::make_paper_matrix(pname, pscale);
+      const std::vector<double> bm =
+          bench::make_rhs(am.n_rows, opts.get_int("seed"));
+      const core::Problem pm = core::make_problem(
+          am, bm, ng, graph::parse_ordering(bench::default_ordering(pname)),
+          true, 7);
+      core::SolverOptions po;
+      po.m = 30;
+      po.max_restarts = 40;  // 1200-iteration budget
+      po.tol = opts.get_double("tol");
+      for (const char* which : {"none", "bj", "ilu0", "ilu1"}) {
+        sim::Machine mp(ng);
+        PrecondRow row;
+        row.matrix = pname;
+        row.precond = which;
+        if (std::string(which) == "bj") {
+          const core::PreconditionedResult r =
+              core::preconditioned_gmres(mp, pm, po, 16);
+          row.iterations = r.solve.stats.iterations;
+          row.restarts = r.solve.stats.restarts;
+          row.solve_sim_seconds = r.solve.stats.time_total;
+          row.converged = r.solve.stats.converged;
+        } else {
+          const char* spec = std::string(which) == "none" ? "none"
+                             : std::string(which) == "ilu0"
+                                 ? "ilu:k=0"
+                                 : "ilu:k=1";
+          const core::IluPreconditionedResult r = core::preconditioned_gmres(
+              mp, pm, po, precond::parse_precond_spec(spec));
+          row.iterations = r.solve.stats.iterations;
+          row.restarts = r.solve.stats.restarts;
+          row.setup_sim_seconds = r.precond.setup_seconds;
+          row.solve_sim_seconds =
+              r.solve.stats.time_total - r.precond.setup_seconds;
+          row.fill_nnz = r.precond.fill_nnz;
+          row.max_levels =
+              std::max(r.precond.max_levels_l, r.precond.max_levels_u);
+          row.converged = r.solve.stats.converged;
+        }
+        row.total_sim_seconds = row.setup_sim_seconds + row.solve_sim_seconds;
+        precond_rows.push_back(row);
+        std::printf(
+            "    %-10s %-5s it=%-5d setup=%8.4fs  solve=%9.4fs  "
+            "total=%9.4fs%s\n",
+            pname, which, row.iterations, row.setup_sim_seconds,
+            row.solve_sim_seconds, row.total_sim_seconds,
+            row.converged ? "" : " (nc)");
+      }
+    }
+  }
+
   // --- microbench: blocked vs naive, single thread -----------------------
 #ifdef _OPENMP
   omp_set_num_threads(1);
@@ -642,6 +719,20 @@ int main(int argc, char** argv) {
         << ", \"iterations\": " << r.iterations << ", \"restarts\": "
         << r.restarts << ", \"converged\": " << json_bool(r.converged)
         << "}" << (i + 1 < compress_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"precond\": [\n";
+  for (std::size_t i = 0; i < precond_rows.size(); ++i) {
+    const auto& r = precond_rows[i];
+    out << "    {\"matrix\": \"" << r.matrix << "\", \"precond\": \""
+        << r.precond << "\", \"iterations\": " << r.iterations
+        << ", \"restarts\": " << r.restarts << ", \"setup_sim_seconds\": "
+        << r.setup_sim_seconds << ", \"solve_sim_seconds\": "
+        << r.solve_sim_seconds << ", \"total_sim_seconds\": "
+        << r.total_sim_seconds << ", \"fill_nnz\": " << r.fill_nnz
+        << ", \"max_levels\": " << r.max_levels << ", \"converged\": "
+        << json_bool(r.converged) << "}"
+        << (i + 1 < precond_rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"gram_microbench\": {\n";

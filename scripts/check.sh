@@ -3,8 +3,9 @@
 # sanitize-labeled suites rebuilt and rerun under asan-ubsan, and the
 # tsan-labeled suites (the host execution engine's concurrency tests) under
 # thread sanitizer with the worker pool active. Escape-hatch reruns cover
-# the barrier sync mode, a forced 2-node topology, and the compressed-wire
-# codec layer (CAGMRES_COMPRESS). Run from anywhere; everything happens
+# the barrier sync mode, a forced 2-node topology, the compressed-wire
+# codec layer (CAGMRES_COMPRESS), and the ILU preconditioner suite under
+# tsan in both sync modes. Run from anywhere; everything happens
 # relative to the repo root.
 #
 #   --bench-smoke   additionally run the wall-clock bench at tiny sizes and
@@ -77,6 +78,17 @@ CAGMRES_COMPRESS=halo=fp32,reduce=fp32 CAGMRES_HOST_WORKERS=2 \
   ctest --preset tsan -j
 
 echo
+echo "== precond escape hatch: precond suite, both sync modes, tsan =="
+# The ILU(k) handle subsystem (DESIGN §15): the level-scheduled trisolves
+# run one OpenMP-parallel kernel per level on device streams the worker
+# pool drains, so the suite must stay race-free under tsan with 2 workers
+# in both sync modes — and bit-stable, which the suite itself asserts.
+CAGMRES_HOST_WORKERS=2 \
+  ctest --preset tsan -L precond -j
+CAGMRES_SYNC_MODE=barrier CAGMRES_HOST_WORKERS=2 \
+  ctest --preset tsan -L precond -j
+
+echo
 echo "== chaos gate: 64-schedule campaign, both sync modes, default build =="
 # The invariant oracle (DESIGN §11): every randomized fault schedule must
 # end converged, cleanly errored, or watchdog-tripped, replay bit-identically,
@@ -98,6 +110,15 @@ echo "== chaos gate: 64-schedule multi-node campaign with compressed wires =="
 CAGMRES_COMPRESS=halo=fp32,reduce=fp32 \
   ./build/tools/chaos --schedules=64 --seed=7 --modes=both --nodes=2
 
+echo
+echo "== chaos gate: 64-schedule multi-node campaign, preconditioned drivers =="
+# Widen the alternation with the right-preconditioned ILU drivers
+# (--precond): kills and corrupt storms land inside preconditioner setup
+# and the level-scheduled trisolves, and the handle's post-repartition
+# rebuilds must keep same-seed replays bit-identical.
+./build/tools/chaos --schedules=64 --seed=7 --modes=both --nodes=2 \
+  --precond=ilu:k=1
+
 if [[ "$chaos_smoke" == 1 ]]; then
   echo
   echo "== chaos smoke: campaigns under the tsan preset =="
@@ -117,7 +138,8 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 for key in ("solver_sweep", "event_overlap", "scale_sweep", "hier_reduce",
-            "node_kill_recovery", "compress", "gram_microbench", "nproc"):
+            "node_kill_recovery", "compress", "precond", "gram_microbench",
+            "nproc"):
     if key not in doc:
         sys.exit(f"bench smoke: JSON missing key {key!r}")
 if not doc["solver_sweep"]:

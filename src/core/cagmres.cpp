@@ -16,6 +16,7 @@
 #include "mpk/exec.hpp"
 #include "mpk/plan.hpp"
 #include "ortho/borth.hpp"
+#include "precond/precond.hpp"
 #include "sim/device_blas.hpp"
 
 namespace cagmres::core {
@@ -24,12 +25,30 @@ namespace {
 
 /// Generates `steps` shifted basis vectors from column c0 with one SpMV +
 /// AXPY per step (the paper's Fig. 15 fallback when MPK loses to SpMV).
+/// `pc` non-null applies the operator A M^{-1} instead (right-
+/// preconditioned blocks stage M^{-1} v between the trisolve and the
+/// SpMV; the shift recurrence is unchanged — it shifts the same operator).
 void generate_by_spmv(sim::Machine& m, mpk::MpkExecutor& spmv,
                       sim::DistMultiVec& v, int c0, int steps,
-                      const Shifts& shifts) {
+                      const Shifts& shifts, precond::PrecondHandle* pc) {
+  // One stage column PER STEP, not one shared scratch column: the halo
+  // exchange of step i runs closures on CONSUMER streams that read the
+  // owners' stage column in place, ordered only behind the owners' pack
+  // events. The block enqueues all `steps` products with no host join in
+  // between, so a shared column would let step i+1's trisolve overwrite
+  // rows a peer's still-parked closure reads (a write-after-read hazard
+  // that only event sync with live workers exposes). The block-boundary
+  // reductions (BOrth/TSQR) join every stream before the next block — or a
+  // replay of this one — rewinds to column 0.
+  sim::DistMultiVec* stage = pc != nullptr ? &spmv.stage(steps) : nullptr;
   for (int i = 0; i < steps; ++i) {
     const int c = c0 + i;
-    spmv.spmv(m, v, c, c + 1);
+    if (pc != nullptr) {
+      pc->apply(m, v, c, *stage, i);
+      spmv.spmv(m, *stage, i, v, c + 1);
+    } else {
+      spmv.spmv(m, v, c, c + 1);
+    }
     const double theta = shifts.re[static_cast<std::size_t>(i)];
     const bool pair_second = shifts.im[static_cast<std::size_t>(i)] < 0.0;
     if (theta != 0.0) {
@@ -103,9 +122,13 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   auto plan1 = std::make_unique<mpk::MpkPlan>(
       mpk::build_mpk_plan(prob->a, prob->offsets, 1));
   auto spmv = std::make_unique<mpk::MpkExecutor>(*plan1);
+  precond::PrecondHandle* const pc = opts.precond;
   std::unique_ptr<mpk::MpkPlan> plan_s;
   std::unique_ptr<mpk::MpkExecutor> mpk_exec;
-  if (opts.use_mpk && s > 1) {
+  // Right-preconditioned blocks interleave a block-local trisolve between
+  // SpMVs, which the fused s-step MPK kernel cannot express: use the
+  // step-by-step generator instead (same operator, one halo per step).
+  if (opts.use_mpk && s > 1 && pc == nullptr) {
     plan_s = std::make_unique<mpk::MpkPlan>(
         mpk::build_mpk_plan(prob->a, prob->offsets, s));
     mpk_exec = std::make_unique<mpk::MpkExecutor>(*plan_s);
@@ -286,7 +309,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         plan1 = std::make_unique<mpk::MpkPlan>(
             mpk::build_mpk_plan(prob->a, prob->offsets, 1));
         spmv = std::make_unique<mpk::MpkExecutor>(*plan1);
-        if (opts.use_mpk && s > 1) {
+        if (opts.use_mpk && s > 1 && pc == nullptr) {
           plan_s = std::make_unique<mpk::MpkPlan>(
               mpk::build_mpk_plan(prob->a, prob->offsets, s));
           mpk_exec = std::make_unique<mpk::MpkExecutor>(*plan_s);
@@ -296,6 +319,9 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         b = sim::DistVec(rows);
         b.assign_from_host(prob->b);
         detail::charge_redistribution(machine, *prob);
+        // Only the devices whose row ranges moved are refactored; factors
+        // for unchanged ranges are reused from the handle's cache.
+        if (pc != nullptr) pc->rebuild(machine, prob->a, prob->offsets);
         ckpt.restore_after_repartition(xwork, pending_lost_nodes);
         pending_lost_nodes.clear();
         x_is_zero = ckpt.x_zero();
@@ -303,6 +329,12 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         ++st.recovery.rollbacks;
         st.recovery.time_lost += machine.clock().elapsed() - t_reb;
         needs_rebuild = false;
+      }
+      // Factor lazily inside the fault-handling scope: a device kill
+      // landing in setup classifies and repartitions like any other fault.
+      // Restarts after the first see matches() true and charge nothing.
+      if (pc != nullptr && !pc->matches(prob->offsets)) {
+        pc->build(machine, prob->a, prob->offsets);
       }
       const int ng = machine.n_devices();
 
@@ -367,9 +399,10 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
         detail::CycleOutcome cycle = detail::arnoldi_cycle(
             machine, *spmv, v, mm, opts.gmres_orth, res,
             opts.tol * st.initial_residual,
-            resilient ? opts.max_block_replays : 0);
+            resilient ? opts.max_block_replays : 0, pc);
         st.recovery.blocks_replayed += cycle.replays;
-        detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
+        detail::update_solution(machine, v, cycle.k, cycle.y, xwork, pc,
+                                pc != nullptr ? &spmv->stage(2) : nullptr);
         if (cycle.k > 0) x_is_zero = false;
         st.iterations += cycle.k;
         ++st.restarts;
@@ -472,7 +505,7 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
               mpk_exec->apply(machine, v, done - 1, steps,
                               {bs.re.data(), bs.im.data()});
             } else {
-              generate_by_spmv(machine, *spmv, v, done - 1, steps, bs);
+              generate_by_spmv(machine, *spmv, v, done - 1, steps, bs, pc);
             }
 
             {
@@ -607,7 +640,8 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
           last_h_k = k;
         }
         if (ls_res <= opts.tol * st.initial_residual || done == mm + 1) {
-          detail::update_solution(machine, v, k, y, xwork);
+          detail::update_solution(machine, v, k, y, xwork, pc,
+                                  pc != nullptr ? &spmv->stage(2) : nullptr);
           if (k > 0) x_is_zero = false;
           cycle_converged = (ls_res <= opts.tol * st.initial_residual);
           break;
@@ -710,8 +744,10 @@ SolveResult ca_gmres(sim::Machine& machine, const Problem& problem,
   st.time_orth = ph.get("orth") - phases0.get("orth");
   st.time_borth = ph.get("borth") - phases0.get("borth");
   st.time_tsqr = ph.get("tsqr") - phases0.get("tsqr");
+  st.time_precond = ph.get("precond") - phases0.get("precond") +
+                    ph.get("precond_setup") - phases0.get("precond_setup");
   st.time_other = st.time_total - st.time_spmv - st.time_mpk - st.time_orth -
-                  st.time_borth - st.time_tsqr;
+                  st.time_borth - st.time_tsqr - st.time_precond;
   if (resilient) {
     const sim::FaultStats df = machine.fault_injector().stats() - faults0;
     st.recovery.faults_injected = df.injected_total;

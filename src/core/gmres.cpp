@@ -10,6 +10,7 @@
 #include "core/cpu_gmres.hpp"
 #include "mpk/plan.hpp"
 #include "ortho/reduce.hpp"
+#include "precond/precond.hpp"
 #include "sim/device_blas.hpp"
 
 namespace cagmres::core {
@@ -55,16 +56,40 @@ double compute_residual(sim::Machine& m, mpk::MpkExecutor& spmv,
 }
 
 void update_solution(sim::Machine& m, sim::DistMultiVec& v, int k,
-                     const std::vector<double>& y, sim::DistMultiVec& xwork) {
+                     const std::vector<double>& y, sim::DistMultiVec& xwork,
+                     precond::PrecondHandle* pc, sim::DistMultiVec* stage) {
   CAGMRES_REQUIRE(static_cast<int>(y.size()) >= k, "short LS solution");
   if (k == 0) return;
   // Broadcast the (possibly codec-quantized) wire image of y; the devices
   // accumulate exactly the coefficients that crossed the wire.
   std::vector<double> yq(y.begin(), y.begin() + k);
   ortho::detail::broadcast_charge(m, k, yq.data());
+  if (pc == nullptr) {
+    for (int d = 0; d < m.n_devices(); ++d) {
+      sim::dev_gemv_n_acc(m, d, v.local_rows(d), k, v.col(d, 0),
+                          v.local(d).ld(), yq.data(), xwork.col(d, 0));
+    }
+    return;
+  }
+  // Right-preconditioned: the basis spans the u-space (A M^{-1} u = b), so
+  // the true-space correction is M^{-1} (V y): stage V y in column 1,
+  // solve M into column 0, accumulate into x. Column 1 is fully
+  // overwritten (copy + scale of the first term, then accumulate), so
+  // poison from an earlier faulted update cannot persist across rollbacks.
+  CAGMRES_REQUIRE(stage != nullptr && stage->cols() >= 2,
+                  "preconditioned update needs a 2-column stage");
   for (int d = 0; d < m.n_devices(); ++d) {
-    sim::dev_gemv_n_acc(m, d, v.local_rows(d), k, v.col(d, 0),
-                        v.local(d).ld(), yq.data(), xwork.col(d, 0));
+    sim::dev_copy(m, d, v.local_rows(d), v.col(d, 0), stage->col(d, 1));
+    sim::dev_scal(m, d, stage->local_rows(d), yq[0], stage->col(d, 1));
+    if (k > 1) {
+      sim::dev_gemv_n_acc(m, d, v.local_rows(d), k - 1, v.col(d, 1),
+                          v.local(d).ld(), yq.data() + 1, stage->col(d, 1));
+    }
+  }
+  pc->apply(m, *stage, 1, *stage, 0);
+  for (int d = 0; d < m.n_devices(); ++d) {
+    sim::dev_axpy(m, d, xwork.local_rows(d), 1.0, stage->col(d, 0),
+                  xwork.col(d, 0));
   }
 }
 
@@ -110,7 +135,8 @@ void restore_x(sim::Machine& m, sim::DistMultiVec& xwork,
 
 CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
                            sim::DistMultiVec& v, int mm, ortho::Method orth,
-                           double beta, double abs_tol, int max_replays) {
+                           double beta, double abs_tol, int max_replays,
+                           precond::PrecondHandle* pc) {
   CAGMRES_REQUIRE(orth == ortho::Method::kMgs || orth == ortho::Method::kCgs,
                   "GMRES Orth must be MGS or CGS");
   const int ng = m.n_devices();
@@ -129,8 +155,15 @@ CycleOutcome arnoldi_cycle(sim::Machine& m, mpk::MpkExecutor& spmv,
     bool column_ok = false;
     // Replay loop: the SpMV fully rewrites column k from the (accepted)
     // column j, so re-running a poisoned iteration is side-effect free.
+    // (Preconditioned, the apply fully rewrites the stage column too.)
     while (true) {
-      spmv.spmv(m, v, j, j + 1);
+      if (pc != nullptr) {
+        sim::DistMultiVec& stage = spmv.stage(2);
+        pc->apply(m, v, j, stage, 0);
+        spmv.spmv(m, stage, 0, v, j + 1);
+      } else {
+        spmv.spmv(m, v, j, j + 1);
+      }
 
       sim::PhaseScope phase(m, "orth");
       if (orth == ortho::Method::kCgs) {
@@ -260,6 +293,7 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   auto plan = std::make_unique<mpk::MpkPlan>(
       mpk::build_mpk_plan(prob->a, prob->offsets, 1));
   auto spmv = std::make_unique<mpk::MpkExecutor>(*plan);
+  precond::PrecondHandle* const pc = opts.precond;
 
   sim::DistMultiVec v(rows, opts.m + 1);
   sim::DistMultiVec xwork(rows, 2);
@@ -346,6 +380,9 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
         b = sim::DistVec(rows);
         b.assign_from_host(prob->b);
         detail::charge_redistribution(machine, *prob);
+        // Only the devices whose row ranges moved are refactored; factors
+        // for unchanged ranges are reused from the handle's cache.
+        if (pc != nullptr) pc->rebuild(machine, prob->a, prob->offsets);
         ckpt.restore_after_repartition(xwork, pending_lost_nodes);
         pending_lost_nodes.clear();
         x_is_zero = ckpt.x_zero();
@@ -353,6 +390,12 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
         ++st.recovery.rollbacks;
         st.recovery.time_lost += machine.clock().elapsed() - t_reb;
         needs_rebuild = false;
+      }
+      // Factor lazily inside the fault-handling scope: a device kill
+      // landing in setup classifies and repartitions like any other fault.
+      // Restarts after the first see matches() true and charge nothing.
+      if (pc != nullptr && !pc->matches(prob->offsets)) {
+        pc->build(machine, prob->a, prob->offsets);
       }
 
       res = detail::compute_residual(machine, *spmv, b, xwork, v, 0,
@@ -411,9 +454,10 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
       detail::CycleOutcome cycle = detail::arnoldi_cycle(
           machine, *spmv, v, opts.m, orth_current, res,
           opts.tol * st.initial_residual,
-          resilient ? opts.max_block_replays : 0);
+          resilient ? opts.max_block_replays : 0, pc);
       st.recovery.blocks_replayed += cycle.replays;
-      detail::update_solution(machine, v, cycle.k, cycle.y, xwork);
+      detail::update_solution(machine, v, cycle.k, cycle.y, xwork, pc,
+                              pc != nullptr ? &spmv->stage(2) : nullptr);
       if (cycle.k > 0) x_is_zero = false;
       st.iterations += cycle.k;
       prev_recurrence = cycle.k > 0 ? cycle.ls_residual : -1.0;
@@ -483,7 +527,10 @@ SolveResult gmres(sim::Machine& machine, const Problem& problem,
   const sim::PhaseTimers& ph = machine.phases();
   st.time_spmv = ph.get("spmv") - phases0.get("spmv");
   st.time_orth = ph.get("orth") - phases0.get("orth");
-  st.time_other = st.time_total - st.time_spmv - st.time_orth;
+  st.time_precond = ph.get("precond") - phases0.get("precond") +
+                    ph.get("precond_setup") - phases0.get("precond_setup");
+  st.time_other =
+      st.time_total - st.time_spmv - st.time_orth - st.time_precond;
   if (resilient) {
     const sim::FaultStats df = machine.fault_injector().stats() - faults0;
     st.recovery.faults_injected = df.injected_total;

@@ -37,9 +37,15 @@ struct CycleOutcome {
 /// NaN/Inf before the iteration is accepted; a poisoned iteration is re-run
 /// up to max_replays times, after which the cycle stops early at the last
 /// clean column. 0 (the fault-free default) changes nothing.
+///
+/// `pc` non-null runs the right-preconditioned recurrence: each step stages
+/// M^{-1} v_j (in the executor's scratch multivector) and multiplies A into
+/// that, building a basis of A M^{-1}. The caller must then apply M^{-1}
+/// once inside the solution update (update_solution with the same `pc`).
 CycleOutcome arnoldi_cycle(sim::Machine& machine, mpk::MpkExecutor& spmv,
                            sim::DistMultiVec& v, int m, ortho::Method orth,
-                           double beta, double abs_tol, int max_replays = 0);
+                           double beta, double abs_tol, int max_replays = 0,
+                           precond::PrecondHandle* pc = nullptr);
 
 /// Charged checkpoint of the current solution (column 0 of xwork) to the
 /// host, in prepared row order (device blocks are contiguous). Recovery-path
@@ -65,8 +71,13 @@ double compute_residual(sim::Machine& machine, mpk::MpkExecutor& spmv,
                         sim::DistMultiVec& v, int rcol, bool first);
 
 /// x (column 0 of xwork) += V(:, 0:k) * y, broadcasting y to the devices.
+/// Right-preconditioned (`pc` non-null): x += M^{-1} (V(:, 0:k) y), staging
+/// V y in `stage` (columns 0 and 1; pass the executor's stage(2)) so x
+/// stays the true-space iterate.
 void update_solution(sim::Machine& machine, sim::DistMultiVec& v, int k,
-                     const std::vector<double>& y, sim::DistMultiVec& xwork);
+                     const std::vector<double>& y, sim::DistMultiVec& xwork,
+                     precond::PrecondHandle* pc = nullptr,
+                     sim::DistMultiVec* stage = nullptr);
 
 }  // namespace detail
 

@@ -8,6 +8,7 @@
 #include "mpk/exec.hpp"
 #include "mpk/plan.hpp"
 #include "ortho/reduce.hpp"
+#include "precond/precond.hpp"
 #include "sim/device_blas.hpp"
 
 namespace cagmres::core {
@@ -23,6 +24,7 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
 
   const mpk::MpkPlan plan = mpk::build_mpk_plan(problem.a, problem.offsets, 1);
   mpk::MpkExecutor spmv(plan);
+  precond::PrecondHandle* const pc = opts.precond;
 
   sim::DistMultiVec v(rows, mm + 1);
   sim::DistMultiVec z(rows, mm + 1);  // Z = A * V, the pipelining basis
@@ -80,6 +82,14 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
       std::vector<double>(static_cast<std::size_t>(mm) + 2, 0.0));
   std::vector<double> coeff(static_cast<std::size_t>(mm) + 2, 0.0);
 
+  // Right preconditioning: factor once up front (the pipelined solver has
+  // no repartition path, so the handle never changes during the solve).
+  // The pipelining basis becomes Z = (A M^{-1}) V; residuals and x stay in
+  // the true space.
+  if (pc != nullptr && !pc->matches(problem.offsets)) {
+    pc->build(machine, problem.a, problem.offsets);
+  }
+
   double res = 0.0;
   for (int restart = 0; restart < opts.max_restarts; ++restart) {
     res = detail::compute_residual(machine, spmv, b, xwork, v, 0,
@@ -116,8 +126,14 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
     for (int d = 0; d < ng; ++d) {
       sim::dev_scal(machine, d, v.local_rows(d), 1.0 / res, v.col(d, 0));
     }
-    // Prime the pipeline: z_0 = A v_0.
-    spmv.spmv(machine, v, 0, z, 0);
+    // Prime the pipeline: z_0 = A v_0 (A M^{-1} v_0 preconditioned).
+    if (pc != nullptr) {
+      sim::DistMultiVec& stage = spmv.stage(2);
+      pc->apply(machine, v, 0, stage, 0);
+      spmv.spmv(machine, stage, 0, z, 0);
+    } else {
+      spmv.spmv(machine, v, 0, z, 0);
+    }
 
     blas::GivensLS ls(mm, res);
     int k = 0;
@@ -150,8 +166,18 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
         }
       }
 
-      // (2) Lookahead product w = A z_j, overlapping the reduction wait.
-      if (j + 1 <= mm) spmv.spmv(machine, z, j, z, j + 1);
+      // (2) Lookahead product w = A z_j (A M^{-1} z_j preconditioned),
+      //     overlapping the reduction wait. The trisolve is device-local,
+      //     so it overlaps the in-flight reduction messages the same way.
+      if (j + 1 <= mm) {
+        if (pc != nullptr) {
+          sim::DistMultiVec& stage = spmv.stage(2);
+          pc->apply(machine, z, j, stage, 0);
+          spmv.spmv(machine, stage, 0, z, j + 1);
+        } else {
+          spmv.spmv(machine, z, j, z, j + 1);
+        }
+      }
 
       // (3) The host waits only for the reduction messages, not the SpMV.
       //     In event mode the waits also cover, wall-clock, exactly the
@@ -241,7 +267,8 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
     machine.charge_host(sim::Kernel::kSmall, 3.0 * static_cast<double>(k) * k,
                         0.0);
     if (k > 0) {
-      detail::update_solution(machine, v, k, ls.solve(), xwork);
+      detail::update_solution(machine, v, k, ls.solve(), xwork, pc,
+                              pc != nullptr ? &spmv.stage(2) : nullptr);
     }
     prev_recurrence = k > 0 ? cycle_ls_res : -1.0;
     prev_claimed =
@@ -264,7 +291,10 @@ SolveResult pipelined_gmres(sim::Machine& machine, const Problem& problem,
   const sim::PhaseTimers& ph = machine.phases();
   st.time_spmv = ph.get("spmv") - phases0.get("spmv");
   st.time_orth = ph.get("orth") - phases0.get("orth");
-  st.time_other = st.time_total - st.time_spmv - st.time_orth;
+  st.time_precond = ph.get("precond") - phases0.get("precond") +
+                    ph.get("precond_setup") - phases0.get("precond_setup");
+  st.time_other =
+      st.time_total - st.time_spmv - st.time_orth - st.time_precond;
 
   machine.sync();  // final gather reads xwork on the host
   std::vector<double> x_prepared;

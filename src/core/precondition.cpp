@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "core/cagmres.hpp"
 #include "core/gmres.hpp"
+#include "core/pipelined.hpp"
 #include "sparse/coo.hpp"
 
 namespace cagmres::core {
@@ -70,6 +71,7 @@ PreconditionStats apply_block_jacobi(Problem& p, int block_size) {
         }
       }
       const bool ok = invert_dense(block, inv);
+      if (!ok) ++stats.identity_fallbacks;
 
       // Emit the preconditioned rows: row i of the block becomes
       // sum_r inv(i, r) * A(b0 + r, :), and b likewise.
@@ -131,6 +133,56 @@ PreconditionedResult preconditioned_ca_gmres(sim::Machine& machine,
   out.precond = apply_block_jacobi(transformed, block_size);
   out.solve = ca_gmres(machine, transformed, opts);
   return out;
+}
+
+namespace {
+
+/// Shared body of the spec-based drivers: a handle on the stack, wired
+/// through opts.precond, outliving the delegated solve.
+template <typename Solver>
+IluPreconditionedResult solve_with_spec(const SolverOptions& opts,
+                                        const precond::PrecondSpec& spec,
+                                        Solver&& solver) {
+  IluPreconditionedResult out;
+  if (!spec.armed()) {
+    out.solve = solver(opts);
+    return out;
+  }
+  precond::PrecondHandle handle(spec);
+  SolverOptions popts = opts;
+  popts.precond = &handle;
+  out.solve = solver(popts);
+  out.precond = handle.stats();
+  return out;
+}
+
+}  // namespace
+
+IluPreconditionedResult preconditioned_gmres(
+    sim::Machine& machine, const Problem& problem, const SolverOptions& opts,
+    const precond::PrecondSpec& spec) {
+  return solve_with_spec(opts, spec,
+                         [&](const SolverOptions& o) {
+                           return gmres(machine, problem, o);
+                         });
+}
+
+IluPreconditionedResult preconditioned_ca_gmres(
+    sim::Machine& machine, const Problem& problem, const SolverOptions& opts,
+    const precond::PrecondSpec& spec) {
+  return solve_with_spec(opts, spec,
+                         [&](const SolverOptions& o) {
+                           return ca_gmres(machine, problem, o);
+                         });
+}
+
+IluPreconditionedResult preconditioned_pipelined_gmres(
+    sim::Machine& machine, const Problem& problem, const SolverOptions& opts,
+    const precond::PrecondSpec& spec) {
+  return solve_with_spec(opts, spec,
+                         [&](const SolverOptions& o) {
+                           return pipelined_gmres(machine, problem, o);
+                         });
 }
 
 }  // namespace cagmres::core

@@ -1,16 +1,19 @@
-// Block-Jacobi preconditioning.
+// Preconditioned solver drivers.
 //
-// The paper evaluates unpreconditioned CA-GMRES (its MPK discussion notes
-// preconditioning via Hoemmen's thesis); a usable library needs at least
-// the CA-compatible baseline. Left block-Jacobi fits naturally: with M the
-// block diagonal of A (dense blocks aligned inside device row ranges),
-// M^{-1}A has the same block-row distribution and a dependency pattern that
-// is the within-block union of A's — so the MPK/TSQR machinery applies to
-// the transformed system completely unchanged. The transform is performed
-// once, up front, like the paper's balancing.
+// Two families. (1) The original left block-Jacobi one-shot transform:
+// with M the block diagonal of A (dense blocks aligned inside device row
+// ranges), M^{-1}A has the same block-row distribution and a dependency
+// pattern that is the within-block union of A's — so the MPK/TSQR
+// machinery applies to the transformed system completely unchanged; the
+// transform is performed once, up front, like the paper's balancing.
+// (2) The spec-based drivers over precond::PrecondHandle (src/precond/):
+// right-preconditioned device-local ILU(k) with cached symbolic factors
+// and level-scheduled triangular solves, charged inside the solve and
+// composing with recovery/repartitioning. See DESIGN.md §15.
 #pragma once
 
 #include "core/solver_common.hpp"
+#include "precond/precond.hpp"
 
 namespace cagmres::core {
 
@@ -19,6 +22,10 @@ struct PreconditionStats {
   int blocks = 0;             ///< dense diagonal blocks inverted
   std::int64_t nnz_before = 0;
   std::int64_t nnz_after = 0; ///< fill from mixing rows within each block
+  /// Numerically singular diagonal blocks left untransformed (the
+  /// documented identity fallback), counted so callers can see how much of
+  /// the system is actually preconditioned.
+  int identity_fallbacks = 0;
 };
 
 /// Transforms the prepared problem in place to M^{-1} A x = M^{-1} b with
@@ -51,5 +58,30 @@ PreconditionedResult preconditioned_ca_gmres(sim::Machine& machine,
                                              const Problem& problem,
                                              const SolverOptions& opts,
                                              int block_size);
+
+/// Result of a spec-based (handle) preconditioned solve: the solver
+/// outcome plus the handle's cumulative telemetry (factor sizes, level
+/// depths, cache reuse, charged setup seconds).
+struct IluPreconditionedResult {
+  SolveResult solve;
+  precond::PrecondStats precond;
+};
+
+/// Spec-based preconditioned drivers: build a precond::PrecondHandle for
+/// `spec`, point opts.precond at it, and delegate to the standard solver
+/// (which factors lazily inside its fault-handling scope and rebuilds
+/// affected device factors after a repartition). A kNone spec delegates
+/// unpreconditioned — bit-for-bit the plain solver. The returned stats
+/// are the handle's final state after the solve.
+IluPreconditionedResult preconditioned_gmres(sim::Machine& machine,
+                                             const Problem& problem,
+                                             const SolverOptions& opts,
+                                             const precond::PrecondSpec& spec);
+IluPreconditionedResult preconditioned_ca_gmres(
+    sim::Machine& machine, const Problem& problem, const SolverOptions& opts,
+    const precond::PrecondSpec& spec);
+IluPreconditionedResult preconditioned_pipelined_gmres(
+    sim::Machine& machine, const Problem& problem, const SolverOptions& opts,
+    const precond::PrecondSpec& spec);
 
 }  // namespace cagmres::core

@@ -448,4 +448,11 @@ void MpkExecutor::spmv(sim::Machine& m, const sim::DistMultiVec& x, int xcol,
   }
 }
 
+sim::DistMultiVec& MpkExecutor::stage(int cols) {
+  if (stage_.cols() < cols || stage_.n_parts() != plan_->n_devices()) {
+    stage_ = sim::DistMultiVec(plan_->rows_per_device(), cols);
+  }
+  return stage_;
+}
+
 }  // namespace cagmres::mpk

@@ -47,6 +47,12 @@ class MpkExecutor {
   void spmv(sim::Machine& machine, const sim::DistMultiVec& x, int xcol,
             sim::DistMultiVec& y, int ycol);
 
+  /// Lazily-allocated device-resident scratch multivector split like the
+  /// plan (at least `cols` columns). The right-preconditioned solvers stage
+  /// M^{-1} v here between the preconditioner apply and the SpMV, so they
+  /// need no extra distributed state of their own.
+  sim::DistMultiVec& stage(int cols);
+
  private:
   /// Halo exchange of column c0 into z-buffer `slot` of every device.
   /// Dispatches on machine.sync_mode(): the barrier path is the seed's
@@ -63,6 +69,7 @@ class MpkExecutor {
   void build_node_split(const sim::Machine& machine);
 
   const MpkPlan* plan_;
+  sim::DistMultiVec stage_;  ///< see stage(); empty until first use
   // Triple-buffered working vectors per device (pair shifts read two back).
   std::vector<std::vector<std::vector<double>>> z_;
   std::vector<std::vector<double>> pack_buf_;

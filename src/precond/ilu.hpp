@@ -1,0 +1,86 @@
+// ILU(k) factorization of device-local blocks, split into a cached
+// symbolic phase and a cheap numeric phase (the spiluk-style design the
+// roadmap asks for; DESIGN.md §15).
+//
+// The factor is block-local: only couplings inside one device's row range
+// [row0, row1) enter M, so M^{-1} applies with zero communication and the
+// s-step MPK dependency structure of A survives unchanged. An `underlap`
+// of u additionally replaces the u leading and trailing rows of the block
+// by their diagonal (Jacobi-treated), trimming the triangular dependency
+// chains near the partition boundary; underlap >= block size degenerates
+// to plain diagonal (Jacobi) scaling.
+//
+// The symbolic phase computes the fill pattern by level of fill
+// (lev(fill at (i,j) via pivot p) = lev(i,p) + lev(p,j) + 1, kept while
+// <= k) plus the level sets that make the triangular solves parallel:
+// within one level every row's in-factor dependencies are already done,
+// so the solver dispatches one kernel per level (precond/trisolve.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace cagmres::precond {
+
+/// Parallel schedule of one triangular factor: `order` lists the rows
+/// level-major (ascending within a level), `level_ptr` delimits levels.
+/// Rows inside one level are mutually independent.
+struct LevelSchedule {
+  std::vector<int> level_ptr;  ///< size levels() + 1, indexes into order
+  std::vector<int> order;      ///< local rows in level-major order
+  std::vector<double> level_nnz;  ///< factor nonzeros per level (charge size)
+
+  int levels() const { return static_cast<int>(level_ptr.size()) - 1; }
+  int level_rows(int l) const {
+    return level_ptr[static_cast<std::size_t>(l) + 1] -
+           level_ptr[static_cast<std::size_t>(l)];
+  }
+};
+
+/// One device block's ILU(k) factor A_local ~= L U in local row indices
+/// (local row i = global row row0 + i). L is strictly lower triangular
+/// with an implicit unit diagonal; U is strictly upper triangular with the
+/// diagonal held inverted in inv_diag (the solve multiplies, never
+/// divides). The pattern (ptr/idx, schedules) is the cached symbolic
+/// state; ilu_numeric refreshes only vals/inv_diag.
+struct DeviceFactor {
+  int row0 = 0;  ///< first global row of the block
+  int row1 = 0;  ///< one past the last global row
+
+  std::vector<std::int64_t> l_ptr;  ///< size n() + 1
+  std::vector<int> l_idx;
+  std::vector<double> l_val;
+  std::vector<std::int64_t> u_ptr;  ///< strictly upper, size n() + 1
+  std::vector<int> u_idx;
+  std::vector<double> u_val;
+  std::vector<double> inv_diag;  ///< 1 / u_ii per local row
+
+  LevelSchedule l_sched;  ///< forward (L) schedule
+  LevelSchedule u_sched;  ///< backward (U) schedule
+
+  int pivot_fallbacks = 0;     ///< tiny pivots replaced by 1 (last numeric)
+  double numeric_flops = 0.0;  ///< flop count of the last numeric phase
+
+  int n() const { return row1 - row0; }
+  std::int64_t fill_nnz() const {
+    return static_cast<std::int64_t>(l_idx.size() + u_idx.size()) + n();
+  }
+};
+
+/// Symbolic ILU(k): computes the fill pattern and both level schedules for
+/// the block-local rows [row0, row1) of the prepared matrix `a` (couplings
+/// outside the block are dropped; the `underlap` leading/trailing rows
+/// keep only their diagonal). Values are left unset — call ilu_numeric.
+void ilu_symbolic(const sparse::CsrMatrix& a, int row0, int row1, int level,
+                  int underlap, DeviceFactor& f);
+
+/// Numeric ILU on the cached pattern (IKJ row sweep, fill outside the
+/// pattern dropped). Tiny pivots (|u_ii| <= 1e-13 * max block diagonal)
+/// fall back to 1 and are counted in f.pivot_fallbacks. Refreshes
+/// l_val/u_val/inv_diag/numeric_flops only; the pattern is untouched, so
+/// the same symbolic factor serves every numeric refresh.
+void ilu_numeric(const sparse::CsrMatrix& a, DeviceFactor& f);
+
+}  // namespace cagmres::precond

@@ -12,6 +12,7 @@
 #include "core/cagmres.hpp"
 #include "core/gmres.hpp"
 #include "core/solver_common.hpp"
+#include "precond/precond.hpp"
 #include "sparse/generators.hpp"
 
 namespace cagmres::sim {
@@ -41,8 +42,30 @@ std::uint64_t fnv1a_double(double v, std::uint64_t h) {
 }  // namespace
 
 std::string to_string(ChaosSolver s) {
-  return s == ChaosSolver::kCaGmres ? "ca_gmres" : "gmres";
+  switch (s) {
+    case ChaosSolver::kCaGmres:
+      return "ca_gmres";
+    case ChaosSolver::kGmres:
+      return "gmres";
+    case ChaosSolver::kPrecondCaGmres:
+      return "precond_ca_gmres";
+    case ChaosSolver::kPrecondGmres:
+      return "precond_gmres";
+  }
+  return "?";
 }
+
+namespace {
+
+bool is_precond(ChaosSolver s) {
+  return s == ChaosSolver::kPrecondCaGmres || s == ChaosSolver::kPrecondGmres;
+}
+
+bool is_ca(ChaosSolver s) {
+  return s == ChaosSolver::kCaGmres || s == ChaosSolver::kPrecondCaGmres;
+}
+
+}  // namespace
 
 std::string to_string(ChaosOutcome o) {
   switch (o) {
@@ -134,6 +157,7 @@ struct ChaosRunner::Impl {
   std::vector<double> b;     ///< checks the TRUE residual against it
   double b_norm = 0.0;
   core::Problem prob;
+  precond::PrecondSpec pspec;  ///< parsed cfg.precond (kNone when empty)
 
   struct Baseline {
     std::uint64_t fingerprint = 0;
@@ -153,6 +177,7 @@ struct ChaosRunner::Impl {
     b_norm = blas::nrm2(a.n_rows, b.data());
     prob = core::make_problem(a, b, cfg.n_devices, graph::Ordering::kNatural,
                               true, 1);
+    pspec = precond::parse_precond_spec(cfg.precond);
   }
 
   /// Applies the configured multi-node topology to a fresh machine (no-op
@@ -176,13 +201,25 @@ struct ChaosRunner::Impl {
   }
 
   int config_key(ChaosSolver solver, SyncMode mode, int workers) const {
-    return (solver == ChaosSolver::kGmres ? 1 : 0) * 1000 +
+    return static_cast<int>(solver) * 1000 +
            (mode == SyncMode::kEvent ? 1 : 0) * 100 + workers;
   }
 
+  /// The campaign's driver roster: the unpreconditioned pair, widened by
+  /// the preconditioned pair when a spec is armed.
+  std::vector<ChaosSolver> roster() const {
+    std::vector<ChaosSolver> out = {ChaosSolver::kCaGmres};
+    if (cfg.both_solvers) out.push_back(ChaosSolver::kGmres);
+    if (pspec.armed()) {
+      out.push_back(ChaosSolver::kPrecondCaGmres);
+      if (cfg.both_solvers) out.push_back(ChaosSolver::kPrecondGmres);
+    }
+    return out;
+  }
+
   ChaosSolver solver_for(int index) const {
-    if (!cfg.both_solvers) return ChaosSolver::kCaGmres;
-    return index % 2 == 0 ? ChaosSolver::kCaGmres : ChaosSolver::kGmres;
+    const std::vector<ChaosSolver> r = roster();
+    return r[static_cast<std::size_t>(index) % r.size()];
   }
 
   /// Runs the solver on an already-armed machine and applies the per-run
@@ -192,9 +229,16 @@ struct ChaosRunner::Impl {
     const double t0 = m.clock().elapsed();
     core::SolveResult sr;
     bool have_x = false;
+    // A fresh handle per run: its build/rebuild sequence is a pure function
+    // of the run (same schedule + same machine state => same factors), so
+    // the same-seed replay after Machine::reset stays bit-identical even
+    // across mid-solve repartition rebuilds.
+    precond::PrecondHandle handle(pspec);
+    core::SolverOptions opts = solver_opts();
+    if (is_precond(solver)) opts.precond = &handle;
     try {
-      sr = solver == ChaosSolver::kCaGmres ? core::ca_gmres(m, prob, solver_opts())
-                                           : core::gmres(m, prob, solver_opts());
+      sr = is_ca(solver) ? core::ca_gmres(m, prob, opts)
+                         : core::gmres(m, prob, opts);
       have_x = true;
       r.outcome =
           sr.stats.converged ? ChaosOutcome::kConverged : ChaosOutcome::kUnconverged;
@@ -272,9 +316,7 @@ struct ChaosRunner::Impl {
   void ensure_baselines() {
     if (baselines_ready) return;
     const ChaosSchedule none;  // unarmed: the byte-identity reference
-    for (const ChaosSolver solver :
-         {ChaosSolver::kCaGmres, ChaosSolver::kGmres}) {
-      if (!cfg.both_solvers && solver == ChaosSolver::kGmres) continue;
+    for (const ChaosSolver solver : roster()) {
       for (const SyncMode mode : cfg.modes) {
         for (const int w : cfg.worker_counts) {
           Machine m(cfg.n_devices);

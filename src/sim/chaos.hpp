@@ -33,7 +33,11 @@
 namespace cagmres::sim {
 
 /// Which solver a run drives (the campaign alternates by schedule index).
-enum class ChaosSolver { kCaGmres, kGmres };
+/// The kPrecond* variants run the same solvers right-preconditioned with a
+/// fresh ILU(k) PrecondHandle per run (ChaosConfig::precond), so kills and
+/// corrupt storms land inside preconditioner setup and the level-scheduled
+/// trisolves as well as the solver proper.
+enum class ChaosSolver { kCaGmres, kGmres, kPrecondCaGmres, kPrecondGmres };
 std::string to_string(ChaosSolver s);
 
 /// Sanctioned terminal states of one run (see file comment).
@@ -115,6 +119,13 @@ struct ChaosConfig {
   std::vector<SyncMode> modes = {SyncMode::kBarrier, SyncMode::kEvent};
   std::vector<int> worker_counts = {0, 2};
   bool both_solvers = true;    ///< alternate CA-GMRES / GMRES by index
+  /// Non-empty: a parse_precond_spec string ("ilu:k=1"); the alternation
+  /// widens to a 4-cycle {ca, gmres, precond_ca, precond_gmres} (2-cycle
+  /// {ca, precond_ca} when both_solvers is off), so half of all schedules
+  /// chaos the preconditioned drivers. Empty (the default) keeps the
+  /// campaign byte-identical to the pre-preconditioner engine — schedule
+  /// generation never consumes RNG for this knob.
+  std::string precond;
   bool check_replay = true;    ///< rerun each config after Machine::reset
   /// Demo hook for exercising the minimizer on a healthy build: when >= 0,
   /// any run observing at least this many device kills is flagged as a

@@ -277,5 +277,60 @@ TEST(ChaosDemoOracle, SeededBugMinimizesToAtMostThreeEvents) {
   EXPECT_TRUE(has_kill);
 }
 
+// --- preconditioned drivers in the alternation ------------------------
+
+TEST(ChaosPrecond, CampaignWithIluDriversIsViolationFree) {
+  // An armed precond spec widens the slim roster to {ca, precond_ca}: half
+  // the schedules chaos the right-preconditioned driver — kills and NaN
+  // storms land inside ILU setup and the level-scheduled trisolves — and
+  // the full oracle (sanctioned terminal state, true-residual check on
+  // convergence claims, same-seed replay bit-identity across the handle's
+  // repartition rebuilds, zero-fault baseline bytes) must stay clean.
+  ChaosConfig cfg = slim_config();
+  cfg.precond = "ilu:k=1";
+  ChaosRunner r(cfg);
+  const auto stats = r.run_campaign(7, 10);
+  EXPECT_EQ(stats.schedules, 10);
+  EXPECT_EQ(stats.runs, 10);
+  EXPECT_TRUE(stats.violations.empty()) << stats.violations.front().what;
+  EXPECT_EQ(stats.converged + stats.unconverged + stats.clean_errors +
+                stats.watchdogs,
+            stats.runs);
+}
+
+TEST(ChaosPrecond, KillAndCorruptStormSurvivePreconditionedRuns) {
+  ChaosConfig cfg = slim_config();
+  cfg.precond = "ilu:k=1,underlap=1";
+  ChaosRunner r(cfg);
+  // An early op-triggered kill (lands around preconditioner setup of the
+  // first restart) plus a transfer-corrupt drizzle; index 1 selects the
+  // preconditioned CA-GMRES slot of the widened roster.
+  const ChaosSchedule s =
+      ChaosSchedule::from_spec("seed=5;kill:*@op=10;corrupt:p=0.01");
+  EXPECT_TRUE(r.run_schedule(s, 1).empty());
+  const auto one =
+      r.run_one(s, ChaosSolver::kPrecondCaGmres, SyncMode::kEvent, 0);
+  EXPECT_TRUE(one.violation.empty()) << one.violation;
+  EXPECT_GE(one.device_failures, 1);
+  // The preconditioned GMRES variant holds up under the same schedule.
+  const auto two =
+      r.run_one(s, ChaosSolver::kPrecondGmres, SyncMode::kEvent, 0);
+  EXPECT_TRUE(two.violation.empty()) << two.violation;
+}
+
+TEST(ChaosPrecond, EmptySpecKeepsRosterAndBytesUnchanged) {
+  // No spec: solver_for must keep the historical 2-cycle and the runs'
+  // fingerprints must match a pre-widening runner bit for bit.
+  ChaosRunner plain(slim_config());
+  ChaosConfig cfg = slim_config();
+  cfg.precond = "none";  // parses to kNone: also unarmed
+  ChaosRunner none(cfg);
+  const ChaosSchedule s =
+      ChaosSchedule::from_spec("seed=5;kill:*@t=2ms;nan:p=0.001");
+  const auto a = plain.run_one(s, ChaosSolver::kCaGmres, SyncMode::kEvent, 0);
+  const auto b = none.run_one(s, ChaosSolver::kCaGmres, SyncMode::kEvent, 0);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
 }  // namespace
 }  // namespace cagmres

@@ -62,6 +62,10 @@ int main(int argc, char** argv) {
   opts.add("modes", "both", "sync modes to cover: barrier | event | both");
   opts.add("workers", "0,2", "host worker counts to cover");
   opts.add("solver", "both", "ca | gmres | both (alternate by index)");
+  opts.add("precond", "",
+           "ILU spec (e.g. ilu:k=1,underlap=1): widen the alternation with "
+           "right-preconditioned drivers so faults land in precond setup "
+           "and the level-scheduled trisolves too");
   opts.add("min-devices", "1", "degradation floor passed to the solvers");
   opts.add("degrade", "1", "enable the cpu_gmres degradation floor");
   opts.add("deadline-factor", "50",
@@ -87,6 +91,7 @@ int main(int argc, char** argv) {
   cfg.demo_bug_kills = opts.get_int("demo-bug-kills");
   const std::string solver_arg = opts.get("solver");
   cfg.both_solvers = solver_arg == "both";
+  cfg.precond = opts.get("precond");
 
   ChaosRunner runner(cfg);
   std::vector<ChaosViolation> violations;
